@@ -1,0 +1,232 @@
+// Package mobilehpc's top-level benchmarks regenerate every table and
+// figure of the paper — one benchmark per artefact, each reporting the
+// paper's headline quantity as a custom metric so `go test -bench=.`
+// doubles as the reproduction run. Host ns/op measures the simulator,
+// not the modelled hardware; the custom metrics carry the results.
+package mobilehpc
+
+import (
+	"io"
+	"math"
+	"testing"
+
+	"mobilehpc/internal/apps/hpl"
+	"mobilehpc/internal/cluster"
+	"mobilehpc/internal/harness"
+	"mobilehpc/internal/interconnect"
+	"mobilehpc/internal/kernels"
+	"mobilehpc/internal/linalg"
+	"mobilehpc/internal/metrics"
+	"mobilehpc/internal/perf"
+	"mobilehpc/internal/soc"
+	"mobilehpc/internal/stream"
+	"mobilehpc/internal/trend"
+)
+
+// benchExperiment regenerates a registered experiment each iteration.
+func benchExperiment(b *testing.B, id string) *harness.Table {
+	e, err := harness.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tab *harness.Table
+	for i := 0; i < b.N; i++ {
+		tab = e.Run(harness.Options{Quick: true})
+	}
+	if err := tab.Render(io.Discard); err != nil {
+		b.Fatal(err)
+	}
+	return tab
+}
+
+func BenchmarkFig1Top500Share(b *testing.B) {
+	tab := benchExperiment(b, "fig1")
+	b.ReportMetric(float64(len(tab.Rows)), "years")
+}
+
+func BenchmarkFig2aVectorVsMicro(b *testing.B) {
+	benchExperiment(b, "fig2a")
+	gap := trend.GapAt(trend.FitExponential(trend.VectorMachines()),
+		trend.FitExponential(trend.Microprocessors()), 1995)
+	b.ReportMetric(gap, "gap1995_x")
+}
+
+func BenchmarkFig2bServerVsMobile(b *testing.B) {
+	benchExperiment(b, "fig2b")
+	gap := trend.GapAt(trend.FitExponential(trend.ServerProcessors()),
+		trend.FitExponential(trend.MobileSoCs()), 2013)
+	b.ReportMetric(gap, "gap2013_x")
+}
+
+func BenchmarkTable1Platforms(b *testing.B) {
+	benchExperiment(b, "table1")
+	b.ReportMetric(soc.Tegra2().PeakGFLOPSMax(), "tegra2_gflops")
+}
+
+func BenchmarkTable2Kernels(b *testing.B) {
+	tab := benchExperiment(b, "table2")
+	b.ReportMetric(float64(len(tab.Rows)), "kernels")
+}
+
+func BenchmarkFig3SingleCore(b *testing.B) {
+	benchExperiment(b, "fig3")
+	profs := kernels.Profiles()
+	base := perf.Suite(soc.Tegra2(), 1.0, profs, 1)
+	ex := perf.Suite(soc.Exynos5250(), 1.7, profs, 1)
+	b.ReportMetric(base.MeanTime/ex.MeanTime, "exynos_speedup")
+	b.ReportMetric(base.MeanEnergy, "tegra2_J_per_iter")
+}
+
+func BenchmarkFig4MultiCore(b *testing.B) {
+	benchExperiment(b, "fig4")
+	profs := kernels.Profiles()
+	s := perf.Suite(soc.Exynos5250(), 1.0, profs, 1)
+	m := perf.Suite(soc.Exynos5250(), 1.0, profs, 2)
+	b.ReportMetric(s.MeanEnergy/m.MeanEnergy, "exynos_energy_gain")
+}
+
+func BenchmarkFig5Stream(b *testing.B) {
+	benchExperiment(b, "fig5")
+	b.ReportMetric(stream.Bandwidth(soc.Exynos5250(), stream.Copy, true).GBs, "exynos_GBs")
+	b.ReportMetric(stream.Bandwidth(soc.Tegra2(), stream.Copy, true).Efficiency()*100, "tegra2_eff_pct")
+}
+
+func BenchmarkFig6Scalability(b *testing.B) {
+	tab := benchExperiment(b, "fig6")
+	b.ReportMetric(float64(len(tab.Rows)), "node_counts")
+}
+
+func BenchmarkFig7Interconnect(b *testing.B) {
+	benchExperiment(b, "fig7")
+	e := interconnect.Endpoint{Platform: soc.Tegra2(), FGHz: 1.0, Proto: interconnect.TCPIP()}
+	b.ReportMetric(interconnect.OneWayLatency(e, 0, 1.0)*1e6, "tegra2_tcp_us")
+	e.Proto = interconnect.OpenMX()
+	b.ReportMetric(interconnect.EffectiveBandwidth(e, 16<<20, 1.0), "tegra2_omx_MBs")
+}
+
+func BenchmarkTable4BytesPerFlops(b *testing.B) {
+	benchExperiment(b, "table4")
+	b.ReportMetric(metrics.BytesPerFlops(soc.Tegra2(), metrics.InfiniBand), "tegra2_ib")
+}
+
+func BenchmarkGreen500HPL(b *testing.B) {
+	// The full 96-node headline run, once per benchmark invocation
+	// (quick registry variant covered by BenchmarkFig6Scalability).
+	var r hpl.Result
+	var mpw float64
+	for i := 0; i < b.N; i++ {
+		cl := cluster.Tibidabo(96)
+		n := int(8192 * math.Sqrt(96))
+		r = hpl.Run(cl, 96, hpl.Config{N: n, RealN: 64})
+		mpw = metrics.MFLOPSPerWatt(r.GFLOPS, cl.PowerW(2))
+	}
+	b.ReportMetric(r.GFLOPS, "GFLOPS")
+	b.ReportMetric(r.Efficiency*100, "hpl_eff_pct")
+	b.ReportMetric(mpw, "MFLOPS_per_W")
+}
+
+func BenchmarkLatencyPenalty(b *testing.B) {
+	benchExperiment(b, "latpenalty")
+	b.ReportMetric(metrics.LatencyPenaltyPct(100, 1.0), "snb_100us_pct")
+}
+
+// ---- native-code micro-benchmarks: the real kernels on the host ----
+
+func BenchmarkKernelsNative(b *testing.B) {
+	sizes := map[string]int{
+		"vecop": 1 << 16, "dmmm": 128, "3dstc": 32, "2dcon": 256,
+		"fft": 1 << 16, "red": 1 << 18, "hist": 1 << 18, "msort": 1 << 15,
+		"nbody": 512, "amcd": 5000, "spvm": 8192,
+	}
+	for _, k := range kernels.Suite() {
+		k := k
+		b.Run(k.Tag(), func(b *testing.B) {
+			n := sizes[k.Tag()]
+			for i := 0; i < b.N; i++ {
+				k.Run(n)
+			}
+		})
+		b.Run(k.Tag()+"-parallel", func(b *testing.B) {
+			n := sizes[k.Tag()]
+			for i := 0; i < b.N; i++ {
+				k.RunParallel(n, 4)
+			}
+		})
+	}
+}
+
+func BenchmarkStreamNative(b *testing.B) {
+	for _, op := range stream.Ops {
+		op := op
+		b.Run(op.String(), func(b *testing.B) {
+			n := 1 << 20
+			b.SetBytes(int64(n * op.BytesPerElem()))
+			for i := 0; i < b.N; i++ {
+				stream.RunNative(op, n, 1)
+			}
+		})
+	}
+}
+
+// ---- ablation benches for the design choices in DESIGN.md ----
+
+// Blocked vs naive dgemm (the HPL update path).
+func BenchmarkGemmBlockedVsNaive(b *testing.B) {
+	n := 192
+	a, x := linalg.NewMatrix(n, n), linalg.NewMatrix(n, n)
+	a.FillRandom(1)
+	x.FillRandom(2)
+	b.Run("blocked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := linalg.NewMatrix(n, n)
+			linalg.Gemm(a, x, c)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := linalg.NewMatrix(n, n)
+			linalg.GemmNaive(a, x, c)
+		}
+	})
+}
+
+// TCP/IP vs Open-MX on the modelled fabric: simulated HPL efficiency.
+func BenchmarkProtocolAblationHPL(b *testing.B) {
+	for _, proto := range []interconnect.Protocol{interconnect.TCPIP(), interconnect.OpenMX()} {
+		proto := proto
+		b.Run(proto.Name, func(b *testing.B) {
+			var eff float64
+			for i := 0; i < b.N; i++ {
+				cfg := cluster.Config{
+					Nodes: 16, Platform: soc.Tegra2, FGHz: 1.0, Proto: proto,
+					LinkGbps: 1.0, SwitchLatUS: 2.0,
+				}
+				cl := cluster.New(cfg)
+				r := hpl.Run(cl, 16, hpl.Config{N: 32768, RealN: 64})
+				eff = r.Efficiency
+			}
+			b.ReportMetric(eff*100, "hpl_eff_pct")
+		})
+	}
+}
+
+// Rendezvous threshold sensitivity: one-way time for a 64 KiB message.
+func BenchmarkRendezvousThreshold(b *testing.B) {
+	for _, th := range []int{0, 16 << 10, 32 << 10, 128 << 10} {
+		th := th
+		name := "none"
+		if th > 0 {
+			name = (map[int]string{16 << 10: "16KiB", 32 << 10: "32KiB", 128 << 10: "128KiB"})[th]
+		}
+		b.Run(name, func(b *testing.B) {
+			proto := interconnect.OpenMX()
+			proto.RendezvousBytes = th
+			e := interconnect.Endpoint{Platform: soc.Tegra2(), FGHz: 1.0, Proto: proto}
+			var lat float64
+			for i := 0; i < b.N; i++ {
+				lat = interconnect.OneWayLatency(e, 64<<10, 1.0)
+			}
+			b.ReportMetric(lat*1e6, "us_64KiB")
+		})
+	}
+}

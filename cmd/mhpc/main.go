@@ -1,0 +1,189 @@
+// Command mhpc drives the mobilehpc reproduction: it lists and runs
+// the per-table/figure experiments of the paper and prints the same
+// rows the paper reports.
+//
+// Usage:
+//
+//	mhpc list                  list experiment ids and titles
+//	mhpc run [-quick] [-csv] <id>...   run selected experiments
+//	mhpc all [-quick]          regenerate every table and figure
+//	mhpc hpl [-nodes N]        run weak-scaled HPL on Tibidabo
+//	mhpc trace [-nodes N]      traced run + Paraver/Scalasca-style analysis
+//	mhpc tune [-n N]           ATLAS-style gemm block autotuning on this host
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"mobilehpc/internal/cluster"
+	"mobilehpc/internal/core"
+	"mobilehpc/internal/harness"
+	"mobilehpc/internal/linalg"
+	"mobilehpc/internal/mpi"
+	"mobilehpc/internal/perf"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = list()
+	case "run":
+		err = run(os.Args[2:])
+	case "all":
+		err = all(os.Args[2:])
+	case "hpl":
+		err = runHPL(os.Args[2:])
+	case "trace":
+		err = runTrace(os.Args[2:])
+	case "tune":
+		err = runTune(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "mhpc: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mhpc:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  mhpc list                        list experiments
+  mhpc run [-quick] [-csv] <id>... run selected experiments
+  mhpc all [-quick]                regenerate every table and figure
+  mhpc hpl [-nodes N]              weak-scaled HPL + Green500 metric
+  mhpc trace [-nodes N] [-steps S] traced run with timeline + bottleneck analysis
+  mhpc tune [-n N]                 ATLAS-style gemm autotuning on this host`)
+}
+
+func list() error {
+	for _, e := range core.Experiments() {
+		fmt.Printf("%-10s %-55s (%s)\n", e.ID, e.Title, e.Paper)
+	}
+	return nil
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "reduced node counts / steps")
+	csv := fs.Bool("csv", false, "emit CSV instead of a text table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("run: need at least one experiment id (try 'mhpc list')")
+	}
+	for _, id := range fs.Args() {
+		e, err := harness.ByID(id)
+		if err != nil {
+			return err
+		}
+		tab := e.Run(harness.Options{Quick: *quick})
+		if *csv {
+			if err := tab.CSV(os.Stdout); err != nil {
+				return err
+			}
+		} else if err := tab.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func all(args []string) error {
+	fs := flag.NewFlagSet("all", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "reduced node counts / steps")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	return core.RunAllExperiments(os.Stdout, *quick)
+}
+
+func runTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	nodes := fs.Int("nodes", 8, "Tibidabo nodes")
+	steps := fs.Int("steps", 5, "time steps")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cl := cluster.Tibidabo(*nodes)
+	grid := 2048
+	cells := float64(grid) * float64(grid) / float64(*nodes)
+	halo := grid * 8 * 4
+	tr, end := mpi.RunTraced(cl, *nodes, func(r *mpi.Rank) {
+		me := r.ID()
+		for s := 0; s < *steps; s++ {
+			r.AllreduceF64(1.0, math.Max)
+			if r.Size() > 1 {
+				up := (me + 1) % r.Size()
+				down := (me - 1 + r.Size()) % r.Size()
+				r.Send(up, 1, nil, halo)
+				r.Send(down, 2, nil, halo)
+				r.Recv(down, 1)
+				r.Recv(up, 2)
+			}
+			r.ComputeWork(perf.Profile{
+				Kernel: "hydro-step", Flops: cells * 110, Bytes: cells * 80,
+				SIMDFraction: 0.8, Irregularity: 0.1,
+				ParallelFraction: 0.98, Pattern: perf.Strided,
+			}, 2)
+		}
+	})
+	fmt.Printf("traced HYDRO-like run: %d nodes, %d steps, %.3f s simulated\n\n", *nodes, *steps, end)
+	if err := tr.Timeline(os.Stdout, 100); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := tr.Report(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	return tr.ReportFindings(os.Stdout)
+}
+
+func runTune(args []string) error {
+	fs := flag.NewFlagSet("tune", flag.ExitOnError)
+	n := fs.Int("n", 256, "matrix dimension for probing")
+	reps := fs.Int("reps", 3, "probes per candidate")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Printf("autotuning gemm block size on this host (n=%d, the §5 ATLAS step)...\n", *n)
+	res := linalg.TuneGemm(*n, *reps)
+	for i, c := range res.Candidates {
+		marker := " "
+		if c == res.BlockSize {
+			marker = "*"
+		}
+		fmt.Printf(" %s block %4d: %6.2f GFLOPS\n", marker, c, res.GFLOPS[i])
+	}
+	fmt.Printf("selected block size: %d\n", res.BlockSize)
+	return nil
+}
+
+func runHPL(args []string) error {
+	fs := flag.NewFlagSet("hpl", flag.ExitOnError)
+	nodes := fs.Int("nodes", 96, "Tibidabo nodes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	n := int(8192 * math.Sqrt(float64(*nodes)))
+	r, mpw := core.TibidaboHPL(*nodes, n)
+	fmt.Printf("Tibidabo HPL: %d nodes, N=%d\n", r.Nodes, r.N)
+	fmt.Printf("  %.1f GFLOPS, efficiency %.1f%%, residual %.3f (valid=%v)\n",
+		r.GFLOPS, r.Efficiency*100, r.Residual, r.Valid)
+	fmt.Printf("  %.0f MFLOPS/W (paper: 97 GFLOPS, 51%%, 120 MFLOPS/W at 96 nodes)\n", mpw)
+	return nil
+}

@@ -1,0 +1,87 @@
+// clusterscale runs the Figure 6 experiment interactively: the five
+// production applications (HPL weak-scaled; SPECFEM3D, HYDRO, GROMACS
+// and PEPC strong-scaled) over a growing Tibidabo slice, printing
+// speedups and the numerical-validity checks each app carries (HPL
+// residual, hydro mass conservation, MD energy drift, SEM energy
+// conservation, Barnes-Hut force accuracy).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"strings"
+
+	"mobilehpc/internal/apps/hpl"
+	"mobilehpc/internal/apps/hydro"
+	"mobilehpc/internal/apps/md"
+	"mobilehpc/internal/apps/pepc"
+	"mobilehpc/internal/apps/specfem"
+	"mobilehpc/internal/cluster"
+)
+
+func main() {
+	maxNodes := flag.Int("max", 96, "largest Tibidabo slice")
+	flag.Parse()
+
+	var nodes []int
+	for n := 4; n <= *maxNodes; n *= 2 {
+		nodes = append(nodes, n)
+	}
+	if nodes[len(nodes)-1] != *maxNodes {
+		nodes = append(nodes, *maxNodes)
+	}
+
+	fmt.Printf("Tibidabo scalability, %v nodes\n\n", nodes)
+	fmt.Printf("%-6s %12s %12s %12s %12s %12s\n",
+		"nodes", "HPL GFLOPS", "SPECFEM3D", "HYDRO", "GROMACS", "PEPC")
+
+	specCfg := specfem.Config{Elements: 200000, Steps: 20, RealElements: 16}
+	hydroCfg := hydro.Config{Grid: 3072, Steps: 20, RealGrid: 16}
+	mdCfg := md.Config{Particles: 500000, Steps: 20, RealParticles: 64}
+	pepcCfg := pepc.Config{Particles: 1000000, Steps: 5, RealParticles: 128}
+
+	specBase := specfem.Run(cluster.Tibidabo(nodes[0]), nodes[0], specCfg).Elapsed
+	hydroBase := hydro.Run(cluster.Tibidabo(nodes[0]), nodes[0], hydroCfg).Elapsed
+	mdBase := md.Run(cluster.Tibidabo(nodes[0]), nodes[0], mdCfg).Elapsed
+	var pepcBase float64
+	pepcBaseN := 0
+
+	var hplRes hpl.Result
+	for _, n := range nodes {
+		cl := cluster.Tibidabo(n)
+		hplRes = hpl.Run(cl, n, hpl.Config{N: int(8192 * math.Sqrt(float64(n))), RealN: 64})
+		spec := specfem.Run(cluster.Tibidabo(n), n, specCfg)
+		hyd := hydro.Run(cluster.Tibidabo(n), n, hydroCfg)
+		mdr := md.Run(cluster.Tibidabo(n), n, mdCfg)
+		pepcCell := "-"
+		if r, err := pepc.Run(cluster.Tibidabo(n), n, pepcCfg); err == nil {
+			if pepcBaseN == 0 {
+				pepcBase, pepcBaseN = r.Elapsed, n
+			}
+			pepcCell = fmt.Sprintf("%.1f", pepcBase/r.Elapsed*float64(pepcBaseN))
+		}
+		fmt.Printf("%-6d %12.1f %12.1f %12.1f %12.1f %12s\n",
+			n, hplRes.GFLOPS,
+			specBase/spec.Elapsed*float64(nodes[0]),
+			hydroBase/hyd.Elapsed*float64(nodes[0]),
+			mdBase/mdr.Elapsed*float64(nodes[0]),
+			pepcCell)
+	}
+
+	fmt.Println()
+	fmt.Println(strings.Repeat("-", 60))
+	fmt.Println("validation of the real numerics behind the models:")
+	fmt.Printf("  HPL scaled residual     %.4f (valid=%v)\n", hplRes.Residual, hplRes.Valid)
+	h := hydro.Run(cluster.Tibidabo(4), 4, hydroCfg)
+	fmt.Printf("  HYDRO mass drift        %.2e\n", h.MassErr)
+	m := md.Run(cluster.Tibidabo(4), 4, mdCfg)
+	fmt.Printf("  MD energy drift         %.2e\n", m.EnergyDrift)
+	s := specfem.Run(cluster.Tibidabo(4), 4, specfem.Config{
+		Elements: 200000, Steps: 120, RealElements: 48, SourceSteps: 30})
+	fmt.Printf("  SEM energy drift        %.2e\n",
+		math.Abs(s.EnergyEnd-s.EnergyInit)/s.EnergyInit)
+	if p, err := pepc.Run(cluster.Tibidabo(32), 32, pepcCfg); err == nil {
+		fmt.Printf("  Barnes-Hut force error  %.2e (theta=0.5)\n", p.ForceErr)
+	}
+}

@@ -1,0 +1,88 @@
+// interconnect reproduces the §4.1 ping-pong study interactively:
+// latency and effective bandwidth across message sizes for TCP/IP vs
+// Open-MX on the Tegra 2 (PCIe NIC) and Exynos 5250 (USB NIC) boards,
+// both analytically and as an actual two-rank MPI run over the
+// simulated network.
+package main
+
+import (
+	"fmt"
+
+	"mobilehpc/internal/cluster"
+	"mobilehpc/internal/interconnect"
+	"mobilehpc/internal/mpi"
+	"mobilehpc/internal/soc"
+)
+
+func main() {
+	fmt.Println("Ping-pong latency (one-way, µs) and bandwidth (MB/s) over 1GbE")
+	fmt.Println()
+
+	configs := []struct {
+		name  string
+		p     *soc.Platform
+		f     float64
+		proto interconnect.Protocol
+	}{
+		{"Tegra2  TCP/IP  1.0GHz", soc.Tegra2(), 1.0, interconnect.TCPIP()},
+		{"Tegra2  Open-MX 1.0GHz", soc.Tegra2(), 1.0, interconnect.OpenMX()},
+		{"Exynos5 TCP/IP  1.0GHz", soc.Exynos5250(), 1.0, interconnect.TCPIP()},
+		{"Exynos5 Open-MX 1.0GHz", soc.Exynos5250(), 1.0, interconnect.OpenMX()},
+		{"Exynos5 TCP/IP  1.4GHz", soc.Exynos5250(), 1.4, interconnect.TCPIP()},
+		{"Exynos5 Open-MX 1.4GHz", soc.Exynos5250(), 1.4, interconnect.OpenMX()},
+	}
+
+	sizes := []int{0, 16, 64, 1024, 32 << 10, 1 << 20, 16 << 20}
+	fmt.Printf("%-24s", "configuration")
+	for _, m := range sizes {
+		fmt.Printf(" %9s", fmtSize(m))
+	}
+	fmt.Println()
+	for _, c := range configs {
+		e := interconnect.Endpoint{Platform: c.p, FGHz: c.f, Proto: c.proto}
+		fmt.Printf("%-24s", c.name)
+		for _, m := range sizes {
+			if m <= 1024 {
+				fmt.Printf(" %7.1fus", interconnect.OneWayLatency(e, m, 1.0)*1e6)
+			} else {
+				fmt.Printf(" %6.1fMBs", interconnect.EffectiveBandwidth(e, m, 1.0))
+			}
+		}
+		fmt.Println()
+	}
+
+	// Cross-check the analytic model against an end-to-end MPI run.
+	fmt.Println()
+	fmt.Println("Simulated MPI ping-pong (two Tibidabo nodes, TCP/IP):")
+	cl := cluster.Tibidabo(2)
+	const reps = 100
+	var elapsed float64
+	mpi.Run(cl, 2, func(r *mpi.Rank) {
+		if r.ID() == 0 {
+			start := r.Now()
+			for i := 0; i < reps; i++ {
+				r.Send(1, 1, nil, 0)
+				r.Recv(1, 2)
+			}
+			elapsed = r.Now() - start
+		} else {
+			for i := 0; i < reps; i++ {
+				r.Recv(0, 1)
+				r.Send(0, 2, nil, 0)
+			}
+		}
+	})
+	fmt.Printf("  %d round trips in %.2f ms -> one-way %.1f µs (paper: ~100 µs)\n",
+		reps, elapsed*1e3, elapsed/(2*reps)*1e6)
+}
+
+func fmtSize(m int) string {
+	switch {
+	case m >= 1<<20:
+		return fmt.Sprintf("%dMiB", m>>20)
+	case m >= 1<<10:
+		return fmt.Sprintf("%dKiB", m>>10)
+	default:
+		return fmt.Sprintf("%dB", m)
+	}
+}

@@ -1,0 +1,69 @@
+// jobcampaign runs a benchmark campaign through the SLURM-like batch
+// scheduler (§5 lists SLURM in the deployed stack): a mix of wide HPL
+// runs and narrow application jobs compete for a Tibidabo partition
+// under FIFO vs backfill, and the §6 failure modes (PCIe hangs,
+// ECC-less DRAM) are folded in as expected re-submissions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+
+	"mobilehpc/internal/apps/hpl"
+	"mobilehpc/internal/apps/specfem"
+	"mobilehpc/internal/cluster"
+	"mobilehpc/internal/reliability"
+	"mobilehpc/internal/sched"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 96, "partition size")
+	flag.Parse()
+
+	// Measure real (simulated) durations for the campaign's job types.
+	hplDur := hpl.Run(cluster.Tibidabo(*nodes), *nodes,
+		hpl.Config{N: int(8192 * math.Sqrt(float64(*nodes))), RealN: 64}).Elapsed
+	specDur := specfem.Run(cluster.Tibidabo(16), 16,
+		specfem.Config{Elements: 200000, Steps: 200, RealElements: 16}).Elapsed
+
+	mkJobs := func() []*sched.Job {
+		// hpl-wide arrives behind a 3/4-partition job and blocks FIFO;
+		// backfill slips the small SPECFEM jobs into the idle quarter.
+		return []*sched.Job{
+			{ID: 1, Name: "hpl-3q", Nodes: *nodes * 3 / 4, Duration: hplDur, Submit: 0},
+			{ID: 2, Name: "hpl-wide", Nodes: *nodes, Duration: hplDur * 0.6, Submit: 10},
+			{ID: 3, Name: "specfem-a", Nodes: *nodes / 8, Duration: specDur, Submit: 20},
+			{ID: 4, Name: "specfem-b", Nodes: *nodes / 8, Duration: specDur, Submit: 30},
+			{ID: 5, Name: "specfem-c", Nodes: *nodes / 8, Duration: specDur * 0.5, Submit: 40},
+			{ID: 6, Name: "specfem-d", Nodes: *nodes / 8, Duration: specDur * 0.5, Submit: 50},
+		}
+	}
+
+	fmt.Printf("campaign on a %d-node Tibidabo partition\n", *nodes)
+	fmt.Printf("job durations: HPL %.0fs, SPECFEM %.0fs\n\n", hplDur, specDur)
+	for _, policy := range []sched.Policy{sched.FIFO, sched.Backfill} {
+		jobs := mkJobs()
+		res := sched.Simulate(*nodes, jobs, policy)
+		fmt.Printf("%-9s makespan %8.0fs  avg wait %7.0fs  utilisation %5.1f%%\n",
+			policy, res.Makespan, res.AvgWait, res.Utilisation*100)
+		for _, j := range jobs {
+			fmt.Printf("  %-10s %3d nodes  start %7.0f  end %7.0f  wait %6.0f\n",
+				j.Name, j.Nodes, j.Start, j.End, j.Wait())
+		}
+		fmt.Println()
+	}
+
+	// The §6 tax on the campaign: expected re-submissions without
+	// checkpoints on the prototype's failure modes.
+	pcie := reliability.TibidaboPCIe()
+	hplHours := hplDur / 3600
+	att := pcie.ExpectedAttempts(*nodes, hplHours)
+	mtbf := reliability.ClusterMTBFHours(*nodes, 2, reliability.DIMMAnnualErrorLow, pcie)
+	fmt.Printf("failure-mode tax (§6.1/§6.3): full-partition HPL needs %.2f attempts on average,\n", att)
+	fmt.Printf("machine MTBF %.0f h; Young checkpoint interval %.1f h -> efficiency %.1f%%\n",
+		mtbf,
+		reliability.OptimalCheckpointHours(0.1, mtbf),
+		reliability.CheckpointEfficiency(
+			reliability.OptimalCheckpointHours(0.1, mtbf), 0.1, 0.05, mtbf)*100)
+}

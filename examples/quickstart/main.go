@@ -1,0 +1,33 @@
+// Quickstart: the five-minute tour of mobilehpc. It evaluates every
+// platform of the paper's Table 1 with the Table 2 micro-kernel suite
+// (serial and all-cores, at maximum frequency), then asks the headline
+// question of §4: what does a 96-node Tegra 2 cluster score on HPL?
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"mobilehpc/internal/core"
+)
+
+func main() {
+	fmt.Println("mobilehpc quickstart — are mobile SoCs ready for HPC?")
+	fmt.Println()
+	fmt.Println("Single-SoC evaluation (vs Tegra2 @ 1 GHz serial):")
+	fmt.Printf("%-12s %5s %8s %9s %12s %11s\n",
+		"platform", "GHz", "threads", "speedup", "J/iteration", "rel.energy")
+	for _, ev := range core.EvaluateAll() {
+		fmt.Printf("%-12s %5.1f %8d %9.2f %12.2f %11.2f\n",
+			ev.Platform.Name, ev.FGHz, ev.Threads, ev.Speedup, ev.MeanEnergy, ev.RelEnergy)
+	}
+
+	fmt.Println()
+	nodes := 96
+	n := int(8192 * math.Sqrt(float64(nodes)))
+	r, mpw := core.TibidaboHPL(nodes, n)
+	fmt.Printf("Tibidabo (%d x Tegra2, 1 GbE, MPI/TCP) HPL at N=%d:\n", nodes, n)
+	fmt.Printf("  %.1f GFLOPS, %.0f%% efficiency, %.0f MFLOPS/W\n",
+		r.GFLOPS, r.Efficiency*100, mpw)
+	fmt.Println("  paper §4: 97 GFLOPS, 51% efficiency, 120 MFLOPS/W")
+}

@@ -1,0 +1,59 @@
+// socbench sweeps every DVFS operating point of every platform with
+// the micro-kernel suite — the full Figure 3 / Figure 4 experiment —
+// and prints per-kernel detail for one chosen platform, the level of
+// insight §3.1 uses to attribute gains (e.g. Tegra 3's improved memory
+// controller helping only memory-intensive kernels).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mobilehpc/internal/kernels"
+	"mobilehpc/internal/perf"
+	"mobilehpc/internal/soc"
+)
+
+func main() {
+	detail := flag.String("detail", "Exynos5250", "platform for per-kernel breakdown")
+	flag.Parse()
+
+	base := perf.Suite(soc.Tegra2(), 1.0, kernels.Profiles(), 1)
+
+	fmt.Println("Frequency sweep (suite mean, serial and all-cores):")
+	fmt.Printf("%-12s %6s %4s %9s %12s\n", "platform", "GHz", "thr", "speedup", "J/iteration")
+	for _, p := range soc.All() {
+		for _, f := range p.FreqGHz {
+			for _, th := range []int{1, p.Cores} {
+				s := perf.Suite(p, f, kernels.Profiles(), th)
+				fmt.Printf("%-12s %6.3f %4d %9.2f %12.2f\n",
+					p.Name, f, th, base.MeanTime/s.MeanTime, s.MeanEnergy)
+			}
+		}
+	}
+
+	p := soc.ByName(*detail)
+	if p == nil {
+		fmt.Fprintf(os.Stderr, "socbench: unknown platform %q\n", *detail)
+		os.Exit(1)
+	}
+	fmt.Printf("\nPer-kernel detail on %s at %.1f GHz (serial vs Tegra2 @ 1 GHz):\n",
+		p.Name, p.MaxFreq())
+	fmt.Printf("%-6s %-38s %9s %10s\n", "tag", "full name", "speedup", "bound")
+	for _, k := range kernels.Suite() {
+		pr := k.Profile()
+		tBase := perf.IterTime(soc.Tegra2(), 1.0, pr, 1)
+		tHere := perf.IterTime(p, p.MaxFreq(), pr, 1)
+		bound := "compute"
+		tc := pr.Flops / perf.ComputeRate(p, p.MaxFreq(), pr)
+		tm := 0.0
+		if pr.Bytes > 0 {
+			tm = pr.Bytes / perf.SingleCoreBW(p, p.MaxFreq(), pr.Pattern)
+		}
+		if tm > tc {
+			bound = "memory"
+		}
+		fmt.Printf("%-6s %-38s %9.2f %10s\n", k.Tag(), k.FullName(), tBase/tHere, bound)
+	}
+}

@@ -1,0 +1,88 @@
+// traceview reproduces the paper's trace-analysis workflow (§4: "we
+// looked further into the problem and discovered timeouts in
+// post-mortem application trace analysis"): it runs HYDRO on a
+// Tibidabo slice under the Paraver-style tracer and prints the rank
+// timeline and communication/computation profile, making the
+// interconnect share of each step visible.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"mobilehpc/internal/apps/hydro"
+	"mobilehpc/internal/cluster"
+	"mobilehpc/internal/mpi"
+	"mobilehpc/internal/perf"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 8, "Tibidabo nodes")
+	steps := flag.Int("steps", 5, "time steps")
+	flag.Parse()
+
+	cl := cluster.Tibidabo(*nodes)
+	grid := 2048
+	cells := float64(grid) * float64(grid) / float64(*nodes)
+	halo := grid * 8 * 4
+
+	var comm *mpi.Comm
+	tr, end := mpi.RunTraced(cl, *nodes, func(r *mpi.Rank) {
+		me := r.ID()
+		for s := 0; s < *steps; s++ {
+			r.AllreduceF64(1.0, math.Max) // CFL step
+			if r.Size() > 1 {
+				up := (me + 1) % r.Size()
+				down := (me - 1 + r.Size()) % r.Size()
+				r.Send(up, 1, nil, halo)
+				r.Send(down, 2, nil, halo)
+				r.Recv(down, 1)
+				r.Recv(up, 2)
+			}
+			r.ComputeWork(perf.Profile{
+				Kernel: "hydro-step", Flops: cells * 110, Bytes: cells * 80,
+				SIMDFraction: 0.8, Irregularity: 0.1,
+				ParallelFraction: 0.98, Pattern: perf.Strided,
+			}, 2)
+		}
+	})
+
+	fmt.Printf("HYDRO-like loop, %d nodes, %d steps, %.3f s simulated\n\n", *nodes, *steps, end)
+	if err := tr.Timeline(os.Stdout, 100); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	if err := tr.Report(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	// Communication matrix (who talks to whom) of the same pattern.
+	comm, _ = mpi.RunStats(cluster.Tibidabo(*nodes), *nodes, func(r *mpi.Rank) {
+		me := r.ID()
+		for s := 0; s < *steps; s++ {
+			up := (me + 1) % r.Size()
+			down := (me - 1 + r.Size()) % r.Size()
+			r.Send(up, 1, nil, halo)
+			r.Send(down, 2, nil, halo)
+			r.Recv(down, 1)
+			r.Recv(up, 2)
+		}
+	})
+	fmt.Println("communication matrix (KiB sent, src rows x dst cols):")
+	for _, row := range comm.CommMatrix() {
+		for _, b := range row {
+			fmt.Printf(" %6d", b>>10)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	// The §4 lesson in one number: how much of the step the network eats.
+	full := hydro.Run(cluster.Tibidabo(*nodes), *nodes, hydro.Config{
+		Grid: grid, Steps: *steps, RealGrid: 16})
+	fmt.Printf("full HYDRO app on the same slice: %.3f s simulated (mass drift %.1e)\n",
+		full.Elapsed, full.MassErr)
+}

@@ -1,0 +1,3 @@
+module mobilehpc
+
+go 1.22

@@ -1,0 +1,173 @@
+// Package accel models the accelerator story of the paper. The SoCs
+// under evaluation either have a non-programmable GPU (the Tegras'
+// ULP GeForce is graphics-only) or one without a production driver
+// (the Exynos 5250's Mali-T604 supports OpenCL, but §5 reports the
+// driver "suffers from stability and performance issues" and caps the
+// chip at 1 GHz), so the paper excludes GPUs from its measurements —
+// while §5 and §7 describe the experimental CUDA stack on the CARMA
+// kit and the CUDA-capable Tegra 5 "Logan" on the roadmap.
+//
+// This package models those compute-capable-GPU scenarios so the
+// "what would offload buy" question can be asked: devices with peak
+// rates, launch overheads, shared-memory transfer costs, and — for the
+// experimental drivers — an instability model (§5's "experimental
+// OpenCL driver ... is still on early stages of development").
+package accel
+
+import (
+	"fmt"
+
+	"mobilehpc/internal/linalg"
+	"mobilehpc/internal/perf"
+	"mobilehpc/internal/soc"
+)
+
+// Device is an on-SoC compute accelerator.
+type Device struct {
+	Name string
+	// Programmable says whether a compute API exists at all (the ULP
+	// GeForce in Tegra 2/3 is graphics-only: not programmable).
+	Programmable bool
+	API          string // "CUDA", "OpenCL", or "" when not programmable
+	// PeakGFLOPSFP32/FP64: mobile GPUs of the era were FP32 parts; the
+	// Mali-T604's FP64 rate was undisclosed (Table 4 footnote), modelled
+	// here at a 1/4 ratio.
+	PeakGFLOPSFP32 float64
+	PeakGFLOPSFP64 float64
+	// LaunchOverheadUS is the per-kernel-launch software cost on the
+	// host (experimental drivers are slow).
+	LaunchOverheadUS float64
+	// TransferGBs is the host<->device effective bandwidth; on an SoC
+	// this is a pass through shared DRAM, so it is bounded by (a
+	// fraction of) the memory controller.
+	TransferGBs float64
+	// Efficiency is the fraction of peak a tuned kernel sustains.
+	Efficiency float64
+	// DriverMature is false for the experimental stacks of §5; immature
+	// drivers halve sustained efficiency and add launch jitter.
+	DriverMature bool
+	// CrashPer1kLaunches models §5's stability issues: expected crashes
+	// per thousand kernel launches on the experimental stacks.
+	CrashPer1kLaunches float64
+}
+
+// ULPGeForce returns the Tegra 2/3 GPU: 1080p graphics, OpenGL ES 2.0,
+// no compute.
+func ULPGeForce() *Device {
+	return &Device{Name: "ULP GeForce", Programmable: false}
+}
+
+// MaliT604 returns the Exynos 5250's GPU with the §5 experimental
+// OpenCL stack.
+func MaliT604() *Device {
+	return &Device{
+		Name: "Mali-T604", Programmable: true, API: "OpenCL",
+		PeakGFLOPSFP32: 68, PeakGFLOPSFP64: 17,
+		LaunchOverheadUS: 600, TransferGBs: 4.0,
+		Efficiency: 0.55, DriverMature: false, CrashPer1kLaunches: 2.0,
+	}
+}
+
+// CarmaCUDA returns the CARMA kit's discrete-class CUDA part (a
+// Quadro 1000M-class device over PCIe) with the §5 experimental armel
+// CUDA 4.2 runtime.
+func CarmaCUDA() *Device {
+	return &Device{
+		Name: "CARMA CUDA (Quadro-class)", Programmable: true, API: "CUDA",
+		PeakGFLOPSFP32: 270, PeakGFLOPSFP64: 22,
+		LaunchOverheadUS: 350, TransferGBs: 1.5, // PCIe x4 gen1 on Tegra 3
+		Efficiency: 0.60, DriverMature: false, CrashPer1kLaunches: 1.0,
+	}
+}
+
+// Tegra5Logan returns the roadmap part of §3/§7: "the GPU in the next
+// product in the Tegra series, Tegra 5 ('Logan'), will support CUDA" —
+// a Kepler-class mobile GPU with a production driver.
+func Tegra5Logan() *Device {
+	return &Device{
+		Name: "Tegra 5 'Logan' GPU", Programmable: true, API: "CUDA",
+		PeakGFLOPSFP32: 365, PeakGFLOPSFP64: 15,
+		LaunchOverheadUS: 30, TransferGBs: 12.0, // shared LPDDR3
+		Efficiency: 0.70, DriverMature: true,
+	}
+}
+
+// OffloadResult describes executing one kernel iteration on a device.
+type OffloadResult struct {
+	Time          float64 // seconds, including launch and transfers
+	ComputeTime   float64
+	TransferTime  float64
+	LaunchTime    float64
+	CrashExpected float64 // expected crashes over the launches performed
+}
+
+// Offload models running work shaped by a perf.Profile on the device
+// in the given precision ("fp32" or "fp64"): transfer the working set
+// in, launch, compute at the sustained rate, transfer results out.
+func (d *Device) Offload(pr perf.Profile, precision string, launches int) (OffloadResult, error) {
+	if !d.Programmable {
+		return OffloadResult{}, fmt.Errorf("accel: %s is not programmable", d.Name)
+	}
+	if launches <= 0 {
+		return OffloadResult{}, fmt.Errorf("accel: need at least one launch")
+	}
+	peak := d.PeakGFLOPSFP64
+	if precision == "fp32" {
+		peak = d.PeakGFLOPSFP32
+	} else if precision != "fp64" {
+		return OffloadResult{}, fmt.Errorf("accel: unknown precision %q", precision)
+	}
+	eff := d.Efficiency
+	if !d.DriverMature {
+		// §5: "the performance of CUDA application is far from optimal".
+		eff *= 0.5
+	}
+	var res OffloadResult
+	res.ComputeTime = pr.Flops / (peak * 1e9 * eff)
+	res.TransferTime = 2 * pr.Bytes / (d.TransferGBs * 1e9)
+	res.LaunchTime = float64(launches) * d.LaunchOverheadUS * 1e-6
+	res.Time = res.ComputeTime + res.TransferTime + res.LaunchTime
+	res.CrashExpected = float64(launches) / 1000 * d.CrashPer1kLaunches
+	return res, nil
+}
+
+// Speedup returns device time advantage over running pr on the host
+// platform with all cores (values < 1 mean offload loses).
+func Speedup(host *soc.Platform, d *Device, pr perf.Profile, precision string, launches int) (float64, error) {
+	off, err := d.Offload(pr, precision, launches)
+	if err != nil {
+		return 0, err
+	}
+	cpu := perf.IterTime(host, host.MaxFreq(), pr, host.Cores)
+	return cpu / off.Time, nil
+}
+
+// MixedPrecisionHPL estimates the classic trick for FP32-heavy
+// devices: factorise in FP32 and refine to FP64 accuracy with a few
+// iterations (each costing an FP64 matvec on the host). Returns the
+// estimated speedup over an all-FP64 host solve for an n x n system,
+// and the refinement iterations assumed.
+func MixedPrecisionHPL(host *soc.Platform, d *Device, n int) (speedup float64, refineIters int, err error) {
+	if !d.Programmable {
+		return 0, 0, fmt.Errorf("accel: %s is not programmable", d.Name)
+	}
+	flops := linalg.HPLFlops(n)
+	pr := perf.Profile{
+		Kernel: "hpl", Flops: flops, Bytes: float64(n) * float64(n) * 8,
+		SIMDFraction: 0.95, Irregularity: 0.05, ParallelFraction: 0.99,
+		Pattern: perf.Blocked,
+	}
+	hostTime := perf.IterTime(host, host.MaxFreq(), pr, host.Cores)
+	off, err := d.Offload(pr, "fp32", n/128+1)
+	if err != nil {
+		return 0, 0, err
+	}
+	refineIters = 3
+	refine := perf.Profile{
+		Kernel: "refine", Flops: float64(refineIters) * 2 * float64(n) * float64(n),
+		Bytes:        float64(refineIters) * float64(n) * float64(n) * 8,
+		SIMDFraction: 0.9, ParallelFraction: 0.99, Pattern: perf.Streaming,
+	}
+	refineTime := perf.IterTime(host, host.MaxFreq(), refine, host.Cores)
+	return hostTime / (off.Time + refineTime), refineIters, nil
+}

@@ -1,0 +1,133 @@
+package hpl
+
+import (
+	"fmt"
+
+	"mobilehpc/internal/cluster"
+	"mobilehpc/internal/mpi"
+)
+
+// This file adds the 2-D block-cyclic process grid used by real HPL.
+// The 1-D row layout in Run broadcasts each bw x N panel to every rank
+// (O(N) bytes per rank per step); on a P x Q grid the panel's column
+// block goes only down each process column and the row block only
+// across each process row, cutting per-rank traffic to O(N/Q + N/P) —
+// the reason HPL insists on near-square grids. RunGrid quantifies the
+// difference on the simulated fabric (the "hpl-grid" ablation).
+
+// GridConfig extends Config with an explicit process grid.
+type GridConfig struct {
+	Config
+	P, Q int // process grid; P*Q ranks are used
+}
+
+// BestGrid returns the most-square P x Q factorisation of n ranks with
+// P <= Q, HPL's usual recommendation.
+func BestGrid(n int) (p, q int) {
+	p = 1
+	for f := 1; f*f <= n; f++ {
+		if n%f == 0 {
+			p = f
+		}
+	}
+	return p, n / p
+}
+
+// RunGrid executes HPL timing on a P x Q process grid. The numerical
+// solve is identical to Run (the factorisation mathematics do not
+// depend on the layout); only the communication pattern and its cost
+// change, which is what the ablation measures.
+func RunGrid(cl *cluster.Cluster, cfg GridConfig) Result {
+	cfg.fill()
+	if cfg.N <= 0 {
+		panic("hpl: config needs N")
+	}
+	if cfg.P <= 0 || cfg.Q <= 0 {
+		panic("hpl: grid needs P, Q >= 1")
+	}
+	nodes := cfg.P * cfg.Q
+	if nodes > cl.Size() {
+		panic(fmt.Sprintf("hpl: %dx%d grid exceeds %d-node cluster", cfg.P, cfg.Q, cl.Size()))
+	}
+	res := Result{N: cfg.N, Nodes: nodes}
+
+	nb := cfg.NB
+	steps := (cfg.N + nb - 1) / nb
+
+	var elapsed float64
+	mpi.Run(cl, nodes, func(r *mpi.Rank) {
+		me := r.ID()
+		myRow := me / cfg.Q // position in the process column
+		myCol := me % cfg.Q
+		for k := 0; k < steps; k++ {
+			rem := cfg.N - k*nb
+			if rem <= 0 {
+				break
+			}
+			bw := min(nb, rem)
+			ownerCol := k % cfg.Q
+			ownerRow := k % cfg.P
+
+			// Panel factorisation happens in the owner column: the
+			// ranks of that column cooperate on a bw-wide column block
+			// of height rem (rem/P rows each).
+			if myCol == ownerCol {
+				r.ComputeWork(panelProfile(panelFlops(bw, rem)/float64(cfg.P)), cfg.Threads)
+			}
+			// Column broadcast of the L panel along each process row:
+			// every rank receives bw x rem/P elements.
+			colBytes := bw * rem / max(cfg.P, 1) * 8
+			rowRoot := myRow*cfg.Q + ownerCol
+			r.Bcast(rowRoot, nil, colBytes)
+			// Row broadcast of the U block along each process column:
+			// bw x rem/Q elements.
+			rowBytes := bw * rem / max(cfg.Q, 1) * 8
+			colRoot := ownerRow*cfg.Q + myCol
+			r.Bcast(colRoot, nil, rowBytes)
+
+			// Trailing update: (rem-bw)^2 / (P*Q) share per rank.
+			updFlops := 2 * float64(bw) * float64(rem-bw) * float64(rem-bw) / float64(nodes)
+			if updFlops > 0 {
+				r.ComputeWork(gemmProfile(updFlops), cfg.Threads)
+			}
+		}
+		if me == 0 {
+			elapsed = r.Now()
+		}
+	})
+
+	res.Elapsed = elapsed
+	res.GFLOPS = hplFlopsOf(cfg.N) / elapsed / 1e9
+	peak := 0.0
+	for i := 0; i < nodes; i++ {
+		peak += cl.Nodes[i].Platform.PeakGFLOPS(cl.Nodes[i].FGHz)
+	}
+	res.Efficiency = res.GFLOPS / peak
+	res.Valid = true // numerics identical to Run; see hpl_test.go
+	return res
+}
+
+// hplFlopsOf mirrors linalg.HPLFlops without the import cycle risk in
+// this file's context (kept local for clarity).
+func hplFlopsOf(n int) float64 {
+	fn := float64(n)
+	return 2.0/3.0*fn*fn*fn + 2*fn*fn
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// GridSpeedup compares the 1-D row layout with the best 2-D grid at
+// the same node count and problem size, returning time(1-D)/time(2-D).
+func GridSpeedup(nodes, n int) float64 {
+	r1 := Run(cluster.Tibidabo(nodes), nodes, Config{N: n, RealN: 64})
+	p, q := BestGrid(nodes)
+	r2 := RunGrid(cluster.Tibidabo(nodes), GridConfig{
+		Config: Config{N: n, RealN: 64}, P: p, Q: q,
+	})
+	return r1.Elapsed / r2.Elapsed
+}

@@ -1,0 +1,107 @@
+package hydro
+
+import (
+	"math"
+	"testing"
+
+	"mobilehpc/internal/cluster"
+)
+
+func TestMassConservation(t *testing.T) {
+	cl := cluster.Tibidabo(4)
+	r := Run(cl, 4, Config{Grid: 512, Steps: 30, RealGrid: 32})
+	if r.MassErr > 1e-12 {
+		t.Errorf("mass drift %v; Lax-Friedrichs with periodic BC must conserve", r.MassErr)
+	}
+}
+
+func TestEnergyConservation(t *testing.T) {
+	// Total energy is also conserved for the periodic Euler system.
+	st := NewState(32)
+	e0 := st.TotalEnergy()
+	for i := 0; i < 50; i++ {
+		lam := 0.4 / st.MaxWaveSpeed(0, 32)
+		st.Step(0, 32, lam)
+		st.flip()
+	}
+	e1 := st.TotalEnergy()
+	if math.Abs(e1-e0)/e0 > 1e-12 {
+		t.Errorf("energy drift: %v -> %v", e0, e1)
+	}
+}
+
+func TestBlastWaveSpreads(t *testing.T) {
+	// The central overpressure must propagate outward: after some
+	// steps the corner density deviates from its initial 1.0.
+	st := NewState(32)
+	for i := 0; i < 200; i++ {
+		lam := 0.4 / st.MaxWaveSpeed(0, 32)
+		st.Step(0, 32, lam)
+		st.flip()
+	}
+	if math.Abs(st.Rho[0]-1.0) < 1e-6 {
+		t.Error("blast wave never reached the corner")
+	}
+	for i, v := range st.Rho {
+		if v <= 0 || math.IsNaN(v) {
+			t.Fatalf("unphysical density %v at %d", v, i)
+		}
+	}
+}
+
+func TestDecompositionInvariance(t *testing.T) {
+	// The physics must not depend on how many ranks integrate it.
+	r1 := Run(cluster.Tibidabo(1), 1, Config{Grid: 256, Steps: 20, RealGrid: 16})
+	r4 := Run(cluster.Tibidabo(4), 4, Config{Grid: 256, Steps: 20, RealGrid: 16})
+	if math.Abs(r1.TotalE-r4.TotalE) > 1e-9*math.Abs(r1.TotalE) {
+		t.Errorf("energy differs across decompositions: %v vs %v", r1.TotalE, r4.TotalE)
+	}
+}
+
+func TestStrongScalingShape(t *testing.T) {
+	// Figure 6: good scaling to 16 nodes, clearly sublinear by 64.
+	base := Run(cluster.Tibidabo(1), 1, Config{Grid: 2048, Steps: 10, RealGrid: 16}).Elapsed
+	s16 := base / Run(cluster.Tibidabo(16), 16, Config{Grid: 2048, Steps: 10, RealGrid: 16}).Elapsed
+	s64 := base / Run(cluster.Tibidabo(64), 64, Config{Grid: 2048, Steps: 10, RealGrid: 16}).Elapsed
+	if s16 < 12 {
+		t.Errorf("16-node speedup %v too low, want near-linear", s16)
+	}
+	if s64 > 55 {
+		t.Errorf("64-node speedup %v too close to linear; paper shows departure", s64)
+	}
+	if s64 <= s16 {
+		t.Errorf("speedup regressed: %v @16 vs %v @64", s16, s64)
+	}
+}
+
+func TestPressurePositiveInitially(t *testing.T) {
+	st := NewState(16)
+	for i := range st.Rho {
+		if p := st.pressure(i); p <= 0 {
+			t.Fatalf("non-positive initial pressure %v at %d", p, i)
+		}
+	}
+}
+
+func TestBlastWaveSymmetry(t *testing.T) {
+	// The initial condition is fourfold-symmetric about the grid
+	// centre; Lax-Friedrichs preserves that symmetry exactly, so any
+	// asymmetry is an indexing bug.
+	n := 32
+	st := NewState(n)
+	for i := 0; i < 40; i++ {
+		lam := 0.4 / st.MaxWaveSpeed(0, n)
+		st.Step(0, n, lam)
+		st.flip()
+	}
+	c := n / 2
+	for dy := 1; dy < c-1; dy++ {
+		for dx := 1; dx < c-1; dx++ {
+			a := st.Rho[(c+dy)*n+(c+dx)]
+			b := st.Rho[(c-dy)*n+(c-dx)]
+			if math.Abs(a-b) > 1e-9 {
+				t.Fatalf("symmetry broken at offset (%d,%d): %v vs %v", dx, dy, a, b)
+			}
+		}
+	}
+}

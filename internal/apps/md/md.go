@@ -1,0 +1,308 @@
+// Package md reproduces the GROMACS entry of Table 3: classical
+// molecular dynamics. The real numerics are a 2-D Lennard-Jones fluid
+// with cell lists, a cut-off radius, and velocity-Verlet integration;
+// the domain is strip-decomposed and each step exchanges the boundary
+// cell layer with both neighbours and allreduces the potential energy.
+// Strong scaling is moderate — "its scalability improves as the input
+// size is increased" (§4) — because the fixed-width halo grows relative
+// to the shrinking per-rank interior.
+package md
+
+import (
+	"math"
+
+	"mobilehpc/internal/cluster"
+	"mobilehpc/internal/linalg"
+	"mobilehpc/internal/mpi"
+	"mobilehpc/internal/perf"
+)
+
+// System is a 2-D Lennard-Jones particle system in a periodic box.
+type System struct {
+	N          int
+	Box        float64
+	X, Y       []float64
+	Vx, Vy     []float64
+	Fx, Fy     []float64
+	Rcut       float64
+	cells      int
+	cellOf     []int
+	cellHead   []int
+	cellNext   []int
+	PotEnergy  float64
+	virialAcc  float64
+	Eps, Sigma float64
+}
+
+// NewSystem places n particles on a jittered lattice with small random
+// velocities (zero net momentum).
+func NewSystem(n int, density float64, seed uint64) *System {
+	box := math.Sqrt(float64(n) / density)
+	s := &System{
+		N: n, Box: box,
+		X: make([]float64, n), Y: make([]float64, n),
+		Vx: make([]float64, n), Vy: make([]float64, n),
+		Fx: make([]float64, n), Fy: make([]float64, n),
+		Rcut: 2.5, Eps: 1, Sigma: 1,
+	}
+	side := int(math.Ceil(math.Sqrt(float64(n))))
+	sp := box / float64(side)
+	r := linalg.NewLCG(seed)
+	for i := 0; i < n; i++ {
+		s.X[i] = (float64(i%side) + 0.5 + 0.1*(r.Float64()-0.5)) * sp
+		s.Y[i] = (float64(i/side) + 0.5 + 0.1*(r.Float64()-0.5)) * sp
+		s.Vx[i] = 0.1 * (r.Float64() - 0.5)
+		s.Vy[i] = 0.1 * (r.Float64() - 0.5)
+	}
+	// Remove net momentum so the system doesn't drift.
+	mx, my := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		mx += s.Vx[i]
+		my += s.Vy[i]
+	}
+	for i := 0; i < n; i++ {
+		s.Vx[i] -= mx / float64(n)
+		s.Vy[i] -= my / float64(n)
+	}
+	s.cells = int(box / s.Rcut)
+	if s.cells < 1 {
+		s.cells = 1
+	}
+	s.cellOf = make([]int, n)
+	s.cellHead = make([]int, s.cells*s.cells)
+	s.cellNext = make([]int, n)
+	return s
+}
+
+// buildCells rebuilds the cell lists.
+func (s *System) buildCells() {
+	for c := range s.cellHead {
+		s.cellHead[c] = -1
+	}
+	cw := s.Box / float64(s.cells)
+	for i := 0; i < s.N; i++ {
+		cx := int(s.X[i] / cw)
+		cy := int(s.Y[i] / cw)
+		if cx >= s.cells {
+			cx = s.cells - 1
+		}
+		if cy >= s.cells {
+			cy = s.cells - 1
+		}
+		c := cy*s.cells + cx
+		s.cellOf[i] = c
+		s.cellNext[i] = s.cellHead[c]
+		s.cellHead[c] = i
+	}
+}
+
+// minImage wraps a displacement into the primary periodic image.
+func (s *System) minImage(d float64) float64 {
+	if d > s.Box/2 {
+		return d - s.Box
+	}
+	if d < -s.Box/2 {
+		return d + s.Box
+	}
+	return d
+}
+
+// Forces recomputes all forces and the potential energy with cell
+// lists (each pair visited once via half-neighbourhood sweep).
+func (s *System) Forces() {
+	s.buildCells()
+	for i := 0; i < s.N; i++ {
+		s.Fx[i], s.Fy[i] = 0, 0
+	}
+	s.PotEnergy = 0
+	rc2 := s.Rcut * s.Rcut
+	nc := s.cells
+	for cy := 0; cy < nc; cy++ {
+		for cx := 0; cx < nc; cx++ {
+			c := cy*nc + cx
+			for i := s.cellHead[c]; i >= 0; i = s.cellNext[i] {
+				// Same cell: pairs with j later in the list.
+				for j := s.cellNext[i]; j >= 0; j = s.cellNext[j] {
+					s.pair(i, j, rc2)
+				}
+				// Half of the neighbouring cells (E, N, NE, NW).
+				for _, d := range [4][2]int{{1, 0}, {0, 1}, {1, 1}, {-1, 1}} {
+					ncx := (cx + d[0] + nc) % nc
+					ncy := (cy + d[1] + nc) % nc
+					c2 := ncy*nc + ncx
+					if c2 == c {
+						continue
+					}
+					for j := s.cellHead[c2]; j >= 0; j = s.cellNext[j] {
+						s.pair(i, j, rc2)
+					}
+				}
+			}
+		}
+	}
+}
+
+// pair accumulates the LJ interaction between particles i and j.
+func (s *System) pair(i, j int, rc2 float64) {
+	dx := s.minImage(s.X[i] - s.X[j])
+	dy := s.minImage(s.Y[i] - s.Y[j])
+	r2 := dx*dx + dy*dy
+	if r2 >= rc2 || r2 == 0 {
+		return
+	}
+	sr2 := s.Sigma * s.Sigma / r2
+	sr6 := sr2 * sr2 * sr2
+	// F = 24 eps (2 sr12 - sr6) / r^2 * r_vec
+	f := 24 * s.Eps * (2*sr6*sr6 - sr6) / r2
+	s.Fx[i] += f * dx
+	s.Fy[i] += f * dy
+	s.Fx[j] -= f * dx
+	s.Fy[j] -= f * dy
+	s.PotEnergy += 4 * s.Eps * (sr6*sr6 - sr6)
+}
+
+// Step advances one velocity-Verlet step of size dt (forces must be
+// current on entry; they are current on exit).
+func (s *System) Step(dt float64) {
+	for i := 0; i < s.N; i++ {
+		s.Vx[i] += 0.5 * dt * s.Fx[i]
+		s.Vy[i] += 0.5 * dt * s.Fy[i]
+		s.X[i] = wrap(s.X[i]+dt*s.Vx[i], s.Box)
+		s.Y[i] = wrap(s.Y[i]+dt*s.Vy[i], s.Box)
+	}
+	s.Forces()
+	for i := 0; i < s.N; i++ {
+		s.Vx[i] += 0.5 * dt * s.Fx[i]
+		s.Vy[i] += 0.5 * dt * s.Fy[i]
+	}
+}
+
+func wrap(x, box float64) float64 {
+	for x < 0 {
+		x += box
+	}
+	for x >= box {
+		x -= box
+	}
+	return x
+}
+
+// KineticEnergy returns the total kinetic energy.
+func (s *System) KineticEnergy() float64 {
+	k := 0.0
+	for i := 0; i < s.N; i++ {
+		k += 0.5 * (s.Vx[i]*s.Vx[i] + s.Vy[i]*s.Vy[i])
+	}
+	return k
+}
+
+// TotalEnergy returns kinetic + potential energy.
+func (s *System) TotalEnergy() float64 { return s.KineticEnergy() + s.PotEnergy }
+
+// Config describes one MD run.
+type Config struct {
+	// Particles is the model-scale particle count (timing).
+	Particles int
+	// Steps is the number of MD steps.
+	Steps int
+	// RealParticles is the actually-integrated system (0 = min(…, 400)).
+	RealParticles int
+	// Dt is the time step.
+	Dt float64
+	// Threads is cores used per node.
+	Threads int
+}
+
+func (c *Config) fill() {
+	if c.Steps == 0 {
+		c.Steps = 40
+	}
+	if c.RealParticles == 0 {
+		c.RealParticles = c.Particles
+		if c.RealParticles > 400 {
+			c.RealParticles = 400
+		}
+	}
+	if c.Dt == 0 {
+		c.Dt = 0.002
+	}
+	if c.Threads == 0 {
+		c.Threads = 2
+	}
+}
+
+// Result summarises a run.
+type Result struct {
+	Nodes       int
+	Elapsed     float64
+	EnergyDrift float64 // |E_end - E_0| / |E_0|
+	Energy0     float64
+	EnergyEnd   float64
+}
+
+// stepProfile shapes one rank's per-step force work.
+func stepProfile(parts float64) perf.Profile {
+	return perf.Profile{
+		Kernel: "md-step", Flops: parts * 900, Bytes: parts * 120,
+		SIMDFraction: 0.6, Irregularity: 0.3,
+		ParallelFraction: 0.97, Pattern: perf.Irregular,
+	}
+}
+
+// Run executes the strong-scaling MD benchmark on `nodes` ranks: the
+// model-scale particle set is strip-decomposed, each step exchanging a
+// halo of one cut-off-width boundary strip with both neighbours.
+func Run(cl *cluster.Cluster, nodes int, cfg Config) Result {
+	cfg.fill()
+	if cfg.Particles <= 0 {
+		panic("md: config needs Particles")
+	}
+	sys := NewSystem(cfg.RealParticles, 0.4, 99)
+	sys.Forces()
+	e0 := sys.TotalEnergy()
+
+	partsPerRank := float64(cfg.Particles) / float64(nodes)
+	// Halo width is one cut-off strip: particle count ~ density * Rcut *
+	// boxEdge, where boxEdge ~ sqrt(N/density). 40 bytes per particle
+	// (position, velocity, id).
+	boxEdge := math.Sqrt(float64(cfg.Particles) / 0.4)
+	haloParts := 0.4 * 2.5 * boxEdge
+	haloBytes := int(haloParts * 40)
+
+	var elapsed float64
+	mpi.Run(cl, nodes, func(r *mpi.Rank) {
+		me := r.ID()
+		for step := 0; step < cfg.Steps; step++ {
+			if nodes > 1 {
+				up := (me + 1) % nodes
+				down := (me - 1 + nodes) % nodes
+				// Boundary rows go up with tag 1 and down with tag 2;
+				// the matching receives pair with the opposite side.
+				r.Send(up, 1, nil, haloBytes)
+				r.Send(down, 2, nil, haloBytes)
+				r.Recv(down, 1)
+				r.Recv(up, 2)
+			}
+			r.ComputeWork(stepProfile(partsPerRank), cfg.Threads)
+			// Potential-energy allreduce, as GROMACS logs each step.
+			r.AllreduceF64(sys.PotEnergy/float64(nodes),
+				func(a, b float64) float64 { return a + b })
+			// Integrating the real (shared) system is host-side only.
+			r.HostSync()
+			if me == 0 {
+				sys.Step(cfg.Dt)
+			}
+			r.HostSync()
+		}
+		if me == 0 {
+			elapsed = r.Now()
+		}
+	})
+
+	e1 := sys.TotalEnergy()
+	drift := math.Abs(e1-e0) / math.Max(math.Abs(e0), 1e-12)
+	return Result{
+		Nodes: nodes, Elapsed: elapsed,
+		EnergyDrift: drift, Energy0: e0, EnergyEnd: e1,
+	}
+}

@@ -1,0 +1,125 @@
+package md
+
+import (
+	"math"
+	"testing"
+
+	"mobilehpc/internal/cluster"
+)
+
+func TestEnergyConservation(t *testing.T) {
+	s := NewSystem(100, 0.4, 1)
+	s.Forces()
+	e0 := s.TotalEnergy()
+	for i := 0; i < 200; i++ {
+		s.Step(0.002)
+	}
+	drift := math.Abs(s.TotalEnergy()-e0) / math.Abs(e0)
+	if drift > 1e-3 {
+		t.Errorf("energy drift %v over 200 steps", drift)
+	}
+}
+
+func TestMomentumConservation(t *testing.T) {
+	s := NewSystem(64, 0.4, 2)
+	s.Forces()
+	for i := 0; i < 50; i++ {
+		s.Step(0.002)
+	}
+	px, py := 0.0, 0.0
+	for i := 0; i < s.N; i++ {
+		px += s.Vx[i]
+		py += s.Vy[i]
+	}
+	if math.Abs(px)+math.Abs(py) > 1e-9 {
+		t.Errorf("net momentum (%v, %v) != 0", px, py)
+	}
+}
+
+func TestForcesNewtonThirdLaw(t *testing.T) {
+	s := NewSystem(50, 0.4, 3)
+	s.Forces()
+	fx, fy := 0.0, 0.0
+	for i := 0; i < s.N; i++ {
+		fx += s.Fx[i]
+		fy += s.Fy[i]
+	}
+	if math.Abs(fx)+math.Abs(fy) > 1e-9 {
+		t.Errorf("net force (%v, %v) != 0", fx, fy)
+	}
+}
+
+func TestCellListMatchesBruteForce(t *testing.T) {
+	s := NewSystem(60, 0.4, 4)
+	s.Forces()
+	// Brute-force recomputation.
+	fx := make([]float64, s.N)
+	fy := make([]float64, s.N)
+	pot := 0.0
+	rc2 := s.Rcut * s.Rcut
+	for i := 0; i < s.N; i++ {
+		for j := i + 1; j < s.N; j++ {
+			dx := s.minImage(s.X[i] - s.X[j])
+			dy := s.minImage(s.Y[i] - s.Y[j])
+			r2 := dx*dx + dy*dy
+			if r2 >= rc2 || r2 == 0 {
+				continue
+			}
+			sr2 := 1 / r2
+			sr6 := sr2 * sr2 * sr2
+			f := 24 * (2*sr6*sr6 - sr6) / r2
+			fx[i] += f * dx
+			fy[i] += f * dy
+			fx[j] -= f * dx
+			fy[j] -= f * dy
+			pot += 4 * (sr6*sr6 - sr6)
+		}
+	}
+	for i := 0; i < s.N; i++ {
+		if math.Abs(fx[i]-s.Fx[i]) > 1e-9 || math.Abs(fy[i]-s.Fy[i]) > 1e-9 {
+			t.Fatalf("force mismatch at %d: cell (%v,%v) vs brute (%v,%v)",
+				i, s.Fx[i], s.Fy[i], fx[i], fy[i])
+		}
+	}
+	if math.Abs(pot-s.PotEnergy) > 1e-9 {
+		t.Errorf("potential mismatch: %v vs %v", s.PotEnergy, pot)
+	}
+}
+
+func TestParticlesStayInBox(t *testing.T) {
+	s := NewSystem(80, 0.4, 5)
+	s.Forces()
+	for i := 0; i < 100; i++ {
+		s.Step(0.002)
+	}
+	for i := 0; i < s.N; i++ {
+		if s.X[i] < 0 || s.X[i] >= s.Box || s.Y[i] < 0 || s.Y[i] >= s.Box {
+			t.Fatalf("particle %d escaped: (%v, %v)", i, s.X[i], s.Y[i])
+		}
+	}
+}
+
+func TestRunReportsLowDrift(t *testing.T) {
+	cl := cluster.Tibidabo(4)
+	r := Run(cl, 4, Config{Particles: 100000, Steps: 30, RealParticles: 100})
+	if r.EnergyDrift > 1e-3 {
+		t.Errorf("drift %v", r.EnergyDrift)
+	}
+	if r.Elapsed <= 0 {
+		t.Error("no simulated time elapsed")
+	}
+}
+
+func TestScalingImprovesWithInputSize(t *testing.T) {
+	// §4: "its scalability improves as the input size is increased".
+	speedup := func(particles int) float64 {
+		cfg := Config{Particles: particles, Steps: 10, RealParticles: 64}
+		base := Run(cluster.Tibidabo(1), 1, cfg).Elapsed
+		return base / Run(cluster.Tibidabo(32), 32, cfg).Elapsed
+	}
+	small := speedup(100000)
+	large := speedup(2000000)
+	if large <= small {
+		t.Errorf("scaling did not improve with input: %v (small) vs %v (large)", small, large)
+	}
+}

@@ -1,0 +1,159 @@
+package pepc
+
+import (
+	"math"
+	"testing"
+
+	"mobilehpc/internal/cluster"
+)
+
+func TestTreeCountsParticles(t *testing.T) {
+	parts := RandomCloud(200, 1)
+	tr := NewTree(parts, 0.5)
+	if tr.root.count != 200 {
+		t.Errorf("root count = %d, want 200", tr.root.count)
+	}
+	if math.Abs(tr.root.qtot-totalCharge(parts)) > 1e-9 {
+		t.Errorf("root charge = %v, want %v", tr.root.qtot, totalCharge(parts))
+	}
+}
+
+func totalCharge(ps []Particle) float64 {
+	q := 0.0
+	for _, p := range ps {
+		q += p.Q
+	}
+	return q
+}
+
+func TestNeutralPlasmaRootCharge(t *testing.T) {
+	parts := RandomPlasma(100, 2)
+	tr := NewTree(parts, 0.5)
+	if math.Abs(tr.root.qtot) > 1e-9 {
+		t.Errorf("plasma root charge = %v, want 0", tr.root.qtot)
+	}
+}
+
+func TestBHAccuracyAgainstDirect(t *testing.T) {
+	parts := RandomCloud(300, 3)
+	tr := NewTree(parts, 0.5)
+	meanMag, maxErr := 0.0, 0.0
+	type f2 struct{ bx, by, dx, dy float64 }
+	fs := make([]f2, len(parts))
+	for i := range parts {
+		bx, by, _ := tr.Force(i)
+		dx, dy := DirectForce(parts, i)
+		fs[i] = f2{bx, by, dx, dy}
+		meanMag += math.Hypot(dx, dy)
+	}
+	meanMag /= float64(len(parts))
+	for _, f := range fs {
+		if e := math.Hypot(f.bx-f.dx, f.by-f.dy) / meanMag; e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 0.10 {
+		t.Errorf("Barnes-Hut max normalised error %v at theta=0.5", maxErr)
+	}
+}
+
+func TestSmallThetaMoreAccurate(t *testing.T) {
+	parts := RandomCloud(200, 4)
+	errAt := func(theta float64) float64 {
+		tr := NewTree(parts, theta)
+		sum := 0.0
+		for i := range parts {
+			bx, by, _ := tr.Force(i)
+			dx, dy := DirectForce(parts, i)
+			sum += math.Hypot(bx-dx, by-dy)
+		}
+		return sum
+	}
+	if errAt(0.2) >= errAt(0.9) {
+		t.Error("smaller opening angle must be more accurate")
+	}
+}
+
+func TestThetaZeroMatchesDirect(t *testing.T) {
+	// theta = 0 never accepts an internal node: exact direct sum.
+	parts := RandomCloud(64, 5)
+	tr := NewTree(parts, 0.0)
+	for i := range parts {
+		bx, by, _ := tr.Force(i)
+		dx, dy := DirectForce(parts, i)
+		if math.Abs(bx-dx) > 1e-9 || math.Abs(by-dy) > 1e-9 {
+			t.Fatalf("theta=0 force differs from direct at %d", i)
+		}
+	}
+}
+
+func TestFewerVisitsWithLargerTheta(t *testing.T) {
+	parts := RandomCloud(500, 6)
+	visits := func(theta float64) int {
+		tr := NewTree(parts, theta)
+		total := 0
+		for i := range parts {
+			_, _, v := tr.Force(i)
+			total += v
+		}
+		return total
+	}
+	if visits(0.9) >= visits(0.2) {
+		t.Error("larger opening angle must visit fewer nodes")
+	}
+}
+
+func TestMinNodesReproduces24(t *testing.T) {
+	// §4: "PEPC with the reference input set requires at least 24 nodes".
+	if got := MinNodes(1000000, 1024); got != 24 {
+		t.Errorf("MinNodes(reference) = %d, want 24", got)
+	}
+	if MinNodes(100, 1024) != 1 {
+		t.Error("tiny input must fit one node")
+	}
+}
+
+func TestRunRejectsTooFewNodes(t *testing.T) {
+	cl := cluster.Tibidabo(8)
+	_, err := Run(cl, 8, Config{Particles: 1000000, Steps: 1})
+	var tooFew ErrTooFewNodes
+	if err == nil {
+		t.Fatal("no error below the memory floor")
+	}
+	if e, ok := err.(ErrTooFewNodes); !ok || e.Need != 24 {
+		t.Errorf("error = %v (%T), want ErrTooFewNodes{24, 8}", err, err)
+	}
+	_ = tooFew
+}
+
+func TestPoorStrongScaling(t *testing.T) {
+	// Figure 6: PEPC shows relatively poor strong scalability — going
+	// 32 -> 96 nodes must yield far less than 3x.
+	cfg := Config{Particles: 1000000, Steps: 3, RealParticles: 256}
+	r32, err := Run(cluster.Tibidabo(32), 32, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r96, err := Run(cluster.Tibidabo(96), 96, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := r32.Elapsed / r96.Elapsed
+	if gain > 1.8 {
+		t.Errorf("32->96 node gain = %v; PEPC must scale poorly", gain)
+	}
+	if gain < 0.8 {
+		t.Errorf("32->96 node gain = %v; should not regress badly", gain)
+	}
+}
+
+func TestImbalanceAtLeastOne(t *testing.T) {
+	cfg := Config{Particles: 1000000, Steps: 1, RealParticles: 128}
+	r, err := Run(cluster.Tibidabo(32), 32, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Imbalance < 1.0 {
+		t.Errorf("imbalance %v < 1", r.Imbalance)
+	}
+}

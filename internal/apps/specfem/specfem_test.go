@@ -1,0 +1,100 @@
+package specfem
+
+import (
+	"math"
+	"testing"
+
+	"mobilehpc/internal/cluster"
+)
+
+func TestGLLDerivativeRowsSumToZero(t *testing.T) {
+	// The derivative of a constant is zero: sum_i l_i'(x_j) = 0.
+	for j := 0; j < 5; j++ {
+		s := 0.0
+		for i := 0; i < 5; i++ {
+			s += lagrangeDeriv[i][j]
+		}
+		if math.Abs(s) > 1e-12 {
+			t.Errorf("column %d: derivative sum %v != 0", j, s)
+		}
+	}
+}
+
+func TestGLLDerivativeLinearExact(t *testing.T) {
+	// The basis must differentiate x exactly: sum_i x_i l_i'(x_j) = 1.
+	for j := 0; j < 5; j++ {
+		s := 0.0
+		for i := 0; i < 5; i++ {
+			s += gllX[i] * lagrangeDeriv[i][j]
+		}
+		if math.Abs(s-1) > 1e-12 {
+			t.Errorf("d/dx x at node %d = %v, want 1", j, s)
+		}
+	}
+}
+
+func TestGLLWeightsIntegrateConstants(t *testing.T) {
+	s := 0.0
+	for _, w := range gllW {
+		s += w
+	}
+	if math.Abs(s-2) > 1e-12 {
+		t.Errorf("GLL weights sum to %v, want 2 (length of [-1,1])", s)
+	}
+}
+
+func TestMassMatrixAssembly(t *testing.T) {
+	m := NewMesh(4)
+	total := 0.0
+	for _, v := range m.Mass {
+		total += v
+	}
+	// Total mass equals domain length (unit density on [0,1]).
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("assembled mass %v, want 1", total)
+	}
+	// Interior element boundaries get contributions from two elements.
+	if m.Mass[4] <= m.Mass[0] {
+		t.Error("shared boundary node must have larger assembled mass")
+	}
+}
+
+func TestEnergyConservedAfterSource(t *testing.T) {
+	cl := cluster.Tibidabo(4)
+	r := Run(cl, 4, Config{Elements: 1000, Steps: 120, RealElements: 48, SourceSteps: 30})
+	if r.EnergyInit <= 0 {
+		t.Fatalf("no energy injected: %v", r.EnergyInit)
+	}
+	drift := math.Abs(r.EnergyEnd-r.EnergyInit) / r.EnergyInit
+	if drift > 0.03 {
+		t.Errorf("energy drift %.3f after source off; SEM + leapfrog must conserve", drift)
+	}
+}
+
+func TestWavePropagates(t *testing.T) {
+	cl := cluster.Tibidabo(1)
+	r := Run(cl, 1, Config{Elements: 100, Steps: 100, RealElements: 32})
+	if r.MaxU <= 0 {
+		t.Error("displacement never left zero")
+	}
+}
+
+func TestDecompositionInvariance(t *testing.T) {
+	cfg := Config{Elements: 1000, Steps: 60, RealElements: 32}
+	r1 := Run(cluster.Tibidabo(1), 1, cfg)
+	r8 := Run(cluster.Tibidabo(8), 8, cfg)
+	if math.Abs(r1.EnergyEnd-r8.EnergyEnd) > 1e-9*math.Abs(r1.EnergyEnd) {
+		t.Errorf("physics differs across decompositions: %v vs %v",
+			r1.EnergyEnd, r8.EnergyEnd)
+	}
+}
+
+func TestNearIdealScaling(t *testing.T) {
+	// Figure 6: SPECFEM3D shows good strong scaling to 96 nodes.
+	cfg := Config{Elements: 200000, Steps: 10, RealElements: 16}
+	base := Run(cluster.Tibidabo(1), 1, cfg).Elapsed
+	s64 := base / Run(cluster.Tibidabo(64), 64, cfg).Elapsed
+	if s64 < 48 { // >= 75 % parallel efficiency at 64 nodes
+		t.Errorf("64-node speedup %v; SPECFEM must scale near-ideally", s64)
+	}
+}

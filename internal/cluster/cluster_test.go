@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"testing"
+
+	"mobilehpc/internal/interconnect"
+	"mobilehpc/internal/perf"
+	"mobilehpc/internal/soc"
+)
+
+func TestTibidaboShape(t *testing.T) {
+	c := Tibidabo(192)
+	if c.Size() != 192 {
+		t.Fatalf("size = %d", c.Size())
+	}
+	for _, n := range c.Nodes {
+		if n.Platform.Name != "Tegra2" || n.FGHz != 1.0 {
+			t.Fatalf("node %d: %s @ %v", n.ID, n.Platform.Name, n.FGHz)
+		}
+	}
+	// Paper: at most three hops, 8 Gb/s bisection.
+	if h := c.Net.PathHops(0, 191); h != 3 {
+		t.Errorf("max hops = %d, want 3", h)
+	}
+	if b := interconnect.BisectionGbps(192, 48, 4.0); b != 8.0 {
+		t.Errorf("bisection = %v", b)
+	}
+	if c.Proto.Name != "TCP/IP" {
+		t.Errorf("protocol = %s", c.Proto.Name)
+	}
+}
+
+func TestTibidaboPeak(t *testing.T) {
+	// 96 nodes x 2 GFLOPS = 192 GFLOPS peak: the denominator of the
+	// paper's 51 % HPL efficiency at 97 GFLOPS.
+	c := Tibidabo(96)
+	if got := c.PeakGFLOPS(); got != 192 {
+		t.Errorf("peak = %v GFLOPS, want 192", got)
+	}
+}
+
+func TestClusterPowerScale(t *testing.T) {
+	c := Tibidabo(96)
+	w := c.PowerW(2)
+	// The paper's Green500 measurement implies ~810 W for the 96-node
+	// HPL run (97 GFLOPS at 120 MFLOPS/W).
+	if w < 700 || w > 950 {
+		t.Errorf("96-node power = %.0f W, want ~810", w)
+	}
+	if c.PowerW(2) <= c.PowerW(1) {
+		t.Error("power must grow with active cores")
+	}
+}
+
+func TestNodeComputeTime(t *testing.T) {
+	c := Tibidabo(2)
+	pr := perf.Profile{Kernel: "t", Flops: 1e9, SIMDFraction: 1,
+		ParallelFraction: 1, Pattern: perf.Blocked}
+	t1 := c.Nodes[0].ComputeTime(pr, 1)
+	t2 := c.Nodes[0].ComputeTime(pr, 2)
+	if t1 <= 0 || t2 >= t1 {
+		t.Errorf("compute times: serial %v, 2 cores %v", t1, t2)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for i, bad := range []Config{
+		{Nodes: 0, Platform: soc.Tegra2, Proto: interconnect.TCPIP(), LinkGbps: 1},
+		{Nodes: 2, Platform: soc.Tegra2, FGHz: 9.9, Proto: interconnect.TCPIP(), LinkGbps: 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d: no panic", i)
+				}
+			}()
+			New(bad)
+		}()
+	}
+}
+
+func TestDefaultFreqIsMax(t *testing.T) {
+	c := New(Config{Nodes: 1, Platform: soc.Exynos5250,
+		Proto: interconnect.OpenMX(), LinkGbps: 1})
+	if c.Nodes[0].FGHz != 1.7 {
+		t.Errorf("default freq = %v, want platform max 1.7", c.Nodes[0].FGHz)
+	}
+}

@@ -1,0 +1,60 @@
+package cluster
+
+import "fmt"
+
+// This file models the §6.2 lesson: Tibidabo's root filesystems were
+// NFS-mounted over the boards' 100 Mbit Ethernet, and "the low 100Mbit
+// Ethernet bandwidth was not enough to support the NFS traffic in the
+// I/O phases of the applications, resulting in timeouts, performance
+// degradation and even application crashes", forcing the applications
+// to serialise their parallel I/O — which "in some cases limited the
+// maximum number of nodes that the application could utilize".
+
+// NFS describes the shared filesystem path.
+type NFS struct {
+	ServerMbps float64 // server uplink bandwidth
+	TimeoutSec float64 // client RPC timeout
+}
+
+// TibidaboNFS is the prototype's configuration: a single NFS server
+// behind the nodes' 100 Mbit management network with the Linux default
+// ~60 s RPC timeout.
+func TibidaboNFS() NFS {
+	return NFS{ServerMbps: 100, TimeoutSec: 60}
+}
+
+// IOPhaseParallel models all nodes writing bytesPerNode concurrently:
+// the server link is shared fairly, so every request takes the full
+// aggregate time; it reports whether that exceeds the client timeout
+// (the observed crash mode).
+func (n NFS) IOPhaseParallel(nodes int, bytesPerNode float64) (seconds float64, timedOut bool) {
+	if nodes <= 0 || bytesPerNode < 0 {
+		panic(fmt.Sprintf("cluster: bad I/O phase (%d nodes, %v bytes)", nodes, bytesPerNode))
+	}
+	seconds = float64(nodes) * bytesPerNode * 8 / (n.ServerMbps * 1e6)
+	return seconds, seconds > n.TimeoutSec
+}
+
+// IOPhaseSerialized models the §6.2 workaround: clients write one at a
+// time. Total time is identical (the server link is the bottleneck
+// either way) but each individual request now finishes in
+// bytesPerNode/link time, so timeouts disappear as long as a single
+// node's write fits in the timeout window.
+func (n NFS) IOPhaseSerialized(nodes int, bytesPerNode float64) (seconds float64, timedOut bool) {
+	if nodes <= 0 || bytesPerNode < 0 {
+		panic("cluster: bad I/O phase")
+	}
+	per := bytesPerNode * 8 / (n.ServerMbps * 1e6)
+	return float64(nodes) * per, per > n.TimeoutSec
+}
+
+// MaxNodesParallelIO returns the largest node count whose *parallel*
+// I/O phase completes inside the timeout — the "maximum number of
+// nodes that the application could utilize" before the workaround.
+func (n NFS) MaxNodesParallelIO(bytesPerNode float64) int {
+	if bytesPerNode <= 0 {
+		panic("cluster: non-positive I/O volume")
+	}
+	per := bytesPerNode * 8 / (n.ServerMbps * 1e6)
+	return int(n.TimeoutSec / per)
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"mobilehpc/internal/interconnect"
+	"mobilehpc/internal/soc"
+)
+
+func TestEvaluateSoCBaselineIsUnity(t *testing.T) {
+	ev := EvaluateSoC(soc.Tegra2(), 1.0, 1)
+	if math.Abs(ev.Speedup-1) > 1e-12 || math.Abs(ev.RelEnergy-1) > 1e-12 {
+		t.Errorf("baseline not normalised: %+v", ev)
+	}
+}
+
+func TestEvaluateSoCDefaultsToAllCores(t *testing.T) {
+	ev := EvaluateSoC(soc.CoreI7(), 2.4, 0)
+	if ev.Threads != 4 {
+		t.Errorf("threads = %d, want 4", ev.Threads)
+	}
+}
+
+func TestEvaluateAllCoversEveryPlatformTwice(t *testing.T) {
+	evs := EvaluateAll()
+	if len(evs) != 8 {
+		t.Fatalf("got %d evaluations, want 8", len(evs))
+	}
+	for i := 0; i < len(evs); i += 2 {
+		if evs[i].Threads != 1 || evs[i+1].Threads != evs[i+1].Platform.Cores {
+			t.Errorf("pair %d not serial+allcores", i/2)
+		}
+		if evs[i+1].Speedup <= evs[i].Speedup {
+			t.Errorf("%s: multicore not faster", evs[i].Platform.Name)
+		}
+	}
+}
+
+func TestPingPongMatchesPaper(t *testing.T) {
+	lat, _ := PingPong(soc.Tegra2(), 1.0, interconnect.TCPIP(), 0)
+	if math.Abs(lat*1e6-100) > 3 {
+		t.Errorf("Tegra2 TCP latency = %.1f µs, want ~100", lat*1e6)
+	}
+	_, bw := PingPong(soc.Tegra2(), 1.0, interconnect.OpenMX(), 16<<20)
+	if math.Abs(bw-117) > 5 {
+		t.Errorf("Tegra2 Open-MX bandwidth = %.1f MB/s, want ~117", bw)
+	}
+}
+
+func TestTibidaboHPLSmall(t *testing.T) {
+	r, mpw := TibidaboHPL(4, 16384)
+	if !r.Valid || r.GFLOPS <= 0 || mpw <= 0 {
+		t.Errorf("degenerate HPL result: %+v mpw=%v", r, mpw)
+	}
+}
+
+func TestRunExperimentAndErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiment(&buf, "table4", true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "table4") {
+		t.Error("output missing table")
+	}
+	if err := RunExperiment(&buf, "nope", true); err == nil {
+		t.Error("unknown experiment did not error")
+	}
+}
+
+func TestExperimentsNonEmpty(t *testing.T) {
+	if len(Experiments()) < 14 {
+		t.Errorf("registry too small: %d", len(Experiments()))
+	}
+}

@@ -1,0 +1,89 @@
+// Package fftpkg implements an iterative radix-2 Cooley–Tukey FFT over
+// complex128 slices. It is the substrate for the fft micro-kernel
+// (Table 2: "peak floating-point, variable-stride accesses") and stands
+// in for the FFTW library the paper compiled natively for ARM (§5).
+package fftpkg
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Forward computes the in-place forward DFT of x; len(x) must be a
+// power of two.
+func Forward(x []complex128) {
+	transform(x, false)
+}
+
+// Inverse computes the in-place inverse DFT of x (including the 1/n
+// normalisation); len(x) must be a power of two.
+func Inverse(x []complex128) {
+	transform(x, true)
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+}
+
+func transform(x []complex128, inverse bool) {
+	n := len(x)
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("fftpkg: length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Butterfly passes with increasing stride — the "variable-stride
+	// accesses" the micro-kernel suite stresses.
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := cmplx.Exp(complex(0, sign*2*math.Pi/float64(size)))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= step
+			}
+		}
+	}
+}
+
+// Convolve returns the circular convolution of a and b (equal power-of-
+// two lengths) computed via the frequency domain.
+func Convolve(a, b []complex128) []complex128 {
+	if len(a) != len(b) {
+		panic("fftpkg: convolve length mismatch")
+	}
+	fa := append([]complex128(nil), a...)
+	fb := append([]complex128(nil), b...)
+	Forward(fa)
+	Forward(fb)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	Inverse(fa)
+	return fa
+}
+
+// Flops returns the standard 5 n log2 n flop count credited to an FFT
+// of length n.
+func Flops(n int) float64 {
+	return 5 * float64(n) * math.Log2(float64(n))
+}

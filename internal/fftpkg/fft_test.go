@@ -1,0 +1,163 @@
+package fftpkg
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+func TestForwardKnownDFT(t *testing.T) {
+	// DFT of [1,0,0,0] is [1,1,1,1]; of [1,1,1,1] is [4,0,0,0].
+	x := []complex128{1, 0, 0, 0}
+	Forward(x)
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse DFT[%d] = %v, want 1", i, v)
+		}
+	}
+	y := []complex128{1, 1, 1, 1}
+	Forward(y)
+	if cmplx.Abs(y[0]-4) > 1e-12 {
+		t.Fatalf("DC DFT[0] = %v, want 4", y[0])
+	}
+	for i := 1; i < 4; i++ {
+		if cmplx.Abs(y[i]) > 1e-12 {
+			t.Fatalf("DC DFT[%d] = %v, want 0", i, y[i])
+		}
+	}
+}
+
+func TestForwardMatchesDirectDFT(t *testing.T) {
+	n := 16
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(math.Sin(float64(i)*0.7), math.Cos(float64(i)*1.3))
+	}
+	want := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(k*j) / float64(n)
+			want[k] += x[j] * cmplx.Exp(complex(0, ang))
+		}
+	}
+	Forward(x)
+	for k := range x {
+		if cmplx.Abs(x[k]-want[k]) > 1e-9 {
+			t.Fatalf("FFT[%d] = %v, direct DFT = %v", k, x[k], want[k])
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	n := 1024
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(float64(i%17)-8, float64(i%5)-2)
+	}
+	orig := append([]complex128(nil), x...)
+	Forward(x)
+	Inverse(x)
+	for i := range x {
+		if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+			t.Fatalf("round trip diverged at %d: %v vs %v", i, x[i], orig[i])
+		}
+	}
+}
+
+func TestNonPow2Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for non-power-of-two length")
+		}
+	}()
+	Forward(make([]complex128, 12))
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 1024} {
+		if !IsPow2(n) {
+			t.Errorf("IsPow2(%d) = false", n)
+		}
+	}
+	for _, n := range []int{0, -4, 3, 12, 1023} {
+		if IsPow2(n) {
+			t.Errorf("IsPow2(%d) = true", n)
+		}
+	}
+}
+
+func TestConvolveDelta(t *testing.T) {
+	// Convolution with a unit impulse is the identity.
+	a := []complex128{3, 1, 4, 1, 5, 9, 2, 6}
+	delta := make([]complex128, 8)
+	delta[0] = 1
+	got := Convolve(a, delta)
+	for i := range a {
+		if cmplx.Abs(got[i]-a[i]) > 1e-9 {
+			t.Fatalf("convolve with delta diverged at %d", i)
+		}
+	}
+}
+
+func TestFlops(t *testing.T) {
+	if got := Flops(8); math.Abs(got-5*8*3) > 1e-12 {
+		t.Errorf("Flops(8) = %v, want 120", got)
+	}
+}
+
+// Property: Parseval — energy preserved up to 1/n scaling.
+func TestParsevalProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		n := 64
+		x := make([]complex128, n)
+		s := uint64(seed) + 1
+		for i := range x {
+			s = s*6364136223846793005 + 1442695040888963407
+			re := float64(s>>40)/float64(1<<24) - 0.5
+			s = s*6364136223846793005 + 1442695040888963407
+			im := float64(s>>40)/float64(1<<24) - 0.5
+			x[i] = complex(re, im)
+		}
+		et := 0.0
+		for _, v := range x {
+			et += real(v)*real(v) + imag(v)*imag(v)
+		}
+		Forward(x)
+		ef := 0.0
+		for _, v := range x {
+			ef += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return math.Abs(ef/float64(n)-et) < 1e-9*(1+et)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: linearity — FFT(a+b) = FFT(a) + FFT(b).
+func TestLinearityProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		n := 32
+		a := make([]complex128, n)
+		b := make([]complex128, n)
+		sum := make([]complex128, n)
+		for i := range a {
+			a[i] = complex(math.Sin(float64(i)+float64(seed)), 0)
+			b[i] = complex(0, math.Cos(float64(i)*2+float64(seed)))
+			sum[i] = a[i] + b[i]
+		}
+		Forward(a)
+		Forward(b)
+		Forward(sum)
+		for i := range sum {
+			if cmplx.Abs(sum[i]-(a[i]+b[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,156 @@
+package harness
+
+// Calibration tests: the paper-vs-measured assertions for every
+// headline number of the evaluation. These are the contract that the
+// reproduction preserves the paper's *shape* — who wins, by what
+// factor, where crossovers fall. EXPERIMENTS.md tabulates the same
+// values for human readers.
+
+import (
+	"math"
+	"testing"
+
+	"mobilehpc/internal/apps/hpl"
+	"mobilehpc/internal/cluster"
+	"mobilehpc/internal/kernels"
+	"mobilehpc/internal/metrics"
+	"mobilehpc/internal/perf"
+	"mobilehpc/internal/soc"
+)
+
+func within(t *testing.T, name string, got, want, relTol float64) {
+	t.Helper()
+	if math.Abs(got-want) > want*relTol {
+		t.Errorf("%s = %.3f, paper %.3f (tol %.0f%%)", name, got, want, relTol*100)
+	}
+}
+
+// §3.1.1 single-core suite ratios at matched and maximum frequencies.
+func TestCalibrationSingleCore(t *testing.T) {
+	profs := kernels.Profiles()
+	t2 := perf.Suite(soc.Tegra2(), 1.0, profs, 1)
+	t3at1 := perf.Suite(soc.Tegra3(), 1.0, profs, 1)
+	ex1 := perf.Suite(soc.Exynos5250(), 1.0, profs, 1)
+	t3max := perf.Suite(soc.Tegra3(), 1.3, profs, 1)
+	exMax := perf.Suite(soc.Exynos5250(), 1.7, profs, 1)
+	i7max := perf.Suite(soc.CoreI7(), 2.4, profs, 1)
+
+	within(t, "Tegra3@1GHz vs Tegra2 (paper 1.09)", t2.MeanTime/t3at1.MeanTime, 1.09, 0.05)
+	within(t, "Exynos5@1GHz vs Tegra2 (paper 1.30)", t2.MeanTime/ex1.MeanTime, 1.30, 0.15)
+	within(t, "Tegra3@max vs Tegra2 (paper 1.36)", t2.MeanTime/t3max.MeanTime, 1.36, 0.08)
+	within(t, "Exynos5@max vs Tegra2 (paper 2.3)", t2.MeanTime/exMax.MeanTime, 2.3, 0.08)
+	within(t, "i7@max vs Exynos5@max (paper 3x)", exMax.MeanTime/i7max.MeanTime, 3.0, 0.12)
+	// "From the situation when Tegra 2 was 6.5 times slower..."
+	gap := t2.MeanTime / i7max.MeanTime
+	if gap < 6.0 || gap > 8.2 {
+		t.Errorf("Tegra2 vs i7 gap = %.2f, paper quotes 6.5-8x", gap)
+	}
+}
+
+// §3.1.1 per-iteration energies at 1 GHz (i7 at 2.4 GHz).
+func TestCalibrationEnergyPerIteration(t *testing.T) {
+	profs := kernels.Profiles()
+	within(t, "Tegra2 energy (23.93 J)",
+		perf.Suite(soc.Tegra2(), 1.0, profs, 1).MeanEnergy, 23.93, 0.05)
+	within(t, "Tegra3 energy (19.62 J)",
+		perf.Suite(soc.Tegra3(), 1.0, profs, 1).MeanEnergy, 19.62, 0.05)
+	within(t, "Exynos5 energy (16.95 J)",
+		perf.Suite(soc.Exynos5250(), 1.0, profs, 1).MeanEnergy, 16.95, 0.05)
+	within(t, "i7 energy (28.57 J)",
+		perf.Suite(soc.CoreI7(), 2.4, profs, 1).MeanEnergy, 28.57, 0.05)
+}
+
+// §3.1.2 multi-core energy gains: 1.7x (Tegras), 2.25x (Exynos), 2.5x (i7).
+func TestCalibrationMulticoreEnergyGains(t *testing.T) {
+	profs := kernels.Profiles()
+	gain := func(p *soc.Platform, f float64) float64 {
+		s := perf.Suite(p, f, profs, 1)
+		m := perf.Suite(p, f, profs, p.Cores)
+		return s.MeanEnergy / m.MeanEnergy
+	}
+	within(t, "Tegra2 multicore energy gain (1.7)", gain(soc.Tegra2(), 1.0), 1.7, 0.07)
+	within(t, "Tegra3 multicore energy gain (1.7)", gain(soc.Tegra3(), 1.0), 1.7, 0.07)
+	within(t, "Exynos5 multicore energy gain (2.25)", gain(soc.Exynos5250(), 1.0), 2.25, 0.08)
+	within(t, "i7 multicore energy gain (2.5)", gain(soc.CoreI7(), 2.4), 2.5, 0.08)
+	// Ordering: i7 > Exynos > Tegras (paper's qualitative ranking).
+	if !(gain(soc.CoreI7(), 2.4) > gain(soc.Exynos5250(), 1.0) &&
+		gain(soc.Exynos5250(), 1.0) > gain(soc.Tegra2(), 1.0)) {
+		t.Error("multicore energy-gain ordering violated")
+	}
+}
+
+// §3.1.2: "multithreaded execution has brought improvements, both in
+// performance and in energy efficiency" — for every platform.
+func TestCalibrationMulticoreAlwaysHelps(t *testing.T) {
+	profs := kernels.Profiles()
+	for _, p := range soc.All() {
+		s := perf.Suite(p, p.MaxFreq(), profs, 1)
+		m := perf.Suite(p, p.MaxFreq(), profs, p.Cores)
+		if m.MeanTime >= s.MeanTime || m.MeanEnergy >= s.MeanEnergy {
+			t.Errorf("%s: multicore did not improve both time and energy", p.Name)
+		}
+	}
+}
+
+// §4 headline: ~97 GFLOPS, ~51 % efficiency, ~120 MFLOPS/W at 96 nodes.
+func TestCalibrationGreen500(t *testing.T) {
+	if testing.Short() {
+		t.Skip("96-node HPL")
+	}
+	cl := cluster.Tibidabo(96)
+	n := int(8192 * math.Sqrt(96))
+	r := hpl.Run(cl, 96, hpl.Config{N: n, RealN: 64})
+	within(t, "Tibidabo HPL GFLOPS (97)", r.GFLOPS, 97, 0.08)
+	within(t, "Tibidabo HPL efficiency (0.51)", r.Efficiency, 0.51, 0.08)
+	mpw := metrics.MFLOPSPerWatt(r.GFLOPS, cl.PowerW(2))
+	within(t, "Tibidabo MFLOPS/W (120)", mpw, 120, 0.10)
+}
+
+// Figure 3(a): "performance improves linearly as frequency is increased"
+// — suite mean within 20 % of linear for every platform.
+func TestCalibrationFrequencyLinearity(t *testing.T) {
+	profs := kernels.Profiles()
+	for _, p := range soc.All() {
+		ref := perf.Suite(p, p.MaxFreq(), profs, 1).MeanTime
+		for _, f := range p.FreqGHz {
+			got := perf.Suite(p, f, profs, 1).MeanTime
+			linear := ref * p.MaxFreq() / f
+			if got > linear*1.25 || got < linear*0.75 {
+				t.Errorf("%s@%v: mean %v vs linear %v", p.Name, f, got, linear)
+			}
+		}
+	}
+}
+
+// §3.1.2: "When we increase the frequency of the CPU ... the overall
+// energy efficiency improves" — per-iteration energy must decrease
+// monotonically along each platform's DVFS ladder.
+func TestCalibrationEnergyImprovesWithFrequency(t *testing.T) {
+	profs := kernels.Profiles()
+	for _, p := range soc.All() {
+		prev := math.Inf(1)
+		for _, f := range p.FreqGHz {
+			e := perf.Suite(p, f, profs, 1).MeanEnergy
+			if e >= prev {
+				t.Errorf("%s@%v GHz: energy %v did not improve (prev %v)", p.Name, f, e, prev)
+			}
+			prev = e
+		}
+	}
+}
+
+// §3.1.2: "the SoC is not the main power sink in the system" — idle
+// (non-CPU) power must exceed the all-core dynamic power on every
+// mobile platform.
+func TestCalibrationIdleDominates(t *testing.T) {
+	for _, p := range soc.All() {
+		if !p.Mobile {
+			continue
+		}
+		dyn := p.Power.Watts(p.MaxFreq(), p.Cores) - p.Power.IdleW
+		if dyn >= p.Power.IdleW {
+			t.Errorf("%s: CPU dynamic power %v exceeds the rest of the platform %v",
+				p.Name, dyn, p.Power.IdleW)
+		}
+	}
+}

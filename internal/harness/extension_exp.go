@@ -1,0 +1,191 @@
+package harness
+
+// Extension experiments: the paper's forward-looking and
+// lessons-learned material, implemented rather than just discussed —
+// the ARMv8 projection (§3.1.2, §7), the §6.3 ECC/reliability
+// arithmetic, the §6.2 NFS bottleneck, the energy-to-solution
+// comparison the paper cites from its companion study [13], and the
+// §4.1 "what if Tibidabo ran Open-MX" ablation.
+
+import (
+	"math"
+
+	"mobilehpc/internal/apps/hpl"
+	"mobilehpc/internal/apps/specfem"
+	"mobilehpc/internal/cluster"
+	"mobilehpc/internal/interconnect"
+	"mobilehpc/internal/kernels"
+	"mobilehpc/internal/perf"
+	"mobilehpc/internal/reliability"
+	"mobilehpc/internal/soc"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "projection",
+		Title: "Projected ARMv8 quad-core @ 2 GHz vs measured platforms",
+		Paper: "§3.1.2, §7, Figure 2b final point",
+		Run:   runProjection,
+	})
+	register(Experiment{
+		ID:    "reliability",
+		Title: "Memory reliability without ECC",
+		Paper: "§6.3 (after Schroeder et al. [37])",
+		Run:   runReliability,
+	})
+	register(Experiment{
+		ID:    "iobottleneck",
+		Title: "NFS over 100 Mbit Ethernet: parallel vs serialized I/O",
+		Paper: "§6.2",
+		Run:   runIOBottleneck,
+	})
+	register(Experiment{
+		ID:    "energycompare",
+		Title: "Energy-to-solution: ARM cluster vs x86 server cluster",
+		Paper: "§4 (companion study [13])",
+		Run:   runEnergyCompare,
+	})
+	register(Experiment{
+		ID:    "ablation-openmx",
+		Title: "What if Tibidabo ran Open-MX instead of TCP/IP?",
+		Paper: "§4.1 ablation",
+		Run:   runOpenMXAblation,
+	})
+}
+
+func runProjection(Options) *Table {
+	t := &Table{
+		ID: "projection", Title: "ARMv8 projection vs measured platforms",
+		Paper:   "§3.1.2 / Figure 2b",
+		Columns: []string{"platform", "FP64 peak (GF)", "suite speedup", "J/iteration", "MFLOPS/W (suite)"},
+	}
+	profs := kernels.Profiles()
+	base := perf.Suite(soc.Tegra2(), 1.0, profs, 1)
+	plats := append(soc.All(), soc.ARMv8Quad())
+	for _, p := range plats {
+		s := perf.Suite(p, p.MaxFreq(), profs, p.Cores)
+		// Suite-level MFLOPS/W: modelled useful flops per joule.
+		flops := 0.0
+		for _, pr := range profs {
+			flops += pr.Flops
+		}
+		flops /= float64(len(profs))
+		t.AddRowf("%s|%.1f|%.2f|%.2f|%.0f",
+			p.Name, p.PeakGFLOPSMax(), base.MeanTime/s.MeanTime, s.MeanEnergy,
+			flops/s.MeanEnergy/1e6)
+	}
+	t.Notes = append(t.Notes,
+		"ARMv8 row is the projection: FP64 in NEON doubles per-clock peak vs Cortex-A15 (§3.1.2)",
+		"the projected part reaches i7-class multicore throughput within a mobile power envelope")
+	return t
+}
+
+func runReliability(Options) *Table {
+	t := &Table{
+		ID: "reliability", Title: "Daily memory-error probability without ECC",
+		Paper:   "§6.3",
+		Columns: []string{"nodes", "DIMMs", "P(error/day) low", "P(error/day) high", "MTBE (h, low)", "24h job survival (no ECC / ECC)"},
+	}
+	for _, n := range []int{96, 192, 1500} {
+		lo := reliability.ClusterDailyErrorProb(n, 2, reliability.DIMMAnnualErrorLow)
+		hi := reliability.ClusterDailyErrorProb(n, 2, reliability.DIMMAnnualErrorHigh)
+		mtbe := reliability.MTBEHours(n, 2, reliability.DIMMAnnualErrorLow)
+		sNo := reliability.JobSurvivalProb(n, 2, reliability.DIMMAnnualErrorLow, 24, false)
+		sEcc := reliability.JobSurvivalProb(n, 2, reliability.DIMMAnnualErrorLow, 24, true)
+		t.AddRowf("%d|%d|%.1f%%|%.1f%%|%.0f|%.0f%% / %.0f%%",
+			n, 2*n, lo*100, hi*100, mtbe, sNo*100, sEcc*100)
+	}
+	t.Notes = append(t.Notes,
+		"paper: a 1,500-node system with 2 DIMMs/node has ~30% error probability on any given day",
+		"mobile SoC memory controllers have no ECC — a §6.3 blocker for production HPC")
+	return t
+}
+
+func runIOBottleneck(Options) *Table {
+	t := &Table{
+		ID: "iobottleneck", Title: "NFS I/O phase over 100 Mbit Ethernet (64 MB per node)",
+		Paper:   "§6.2",
+		Columns: []string{"nodes", "parallel (s)", "parallel times out", "serialized (s)", "serialized times out"},
+	}
+	nfs := cluster.TibidaboNFS()
+	const perNode = 64 << 20
+	for _, n := range []int{8, 16, 32, 64, 96, 192} {
+		pt, pto := nfs.IOPhaseParallel(n, perNode)
+		st, sto := nfs.IOPhaseSerialized(n, perNode)
+		t.AddRowf("%d|%.0f|%v|%.0f|%v", n, pt, pto, st, sto)
+	}
+	t.AddRowf("max nodes before parallel NFS times out: %d|-|-|-|-",
+		nfs.MaxNodesParallelIO(perNode))
+	t.Notes = append(t.Notes,
+		"paper: NFS timeouts in I/O phases forced serializing parallel I/O and limited usable node counts")
+	return t
+}
+
+func runEnergyCompare(o Options) *Table {
+	t := &Table{
+		ID: "energycompare", Title: "SPECFEM time and energy: Tibidabo vs x86 server cluster",
+		Paper:   "§4 / [13]",
+		Columns: []string{"machine", "nodes", "time (s)", "power (W)", "energy (kJ)"},
+	}
+	steps := 60
+	if o.Quick {
+		steps = 10
+	}
+	cfg := specfem.Config{Elements: 400000, Steps: steps, RealElements: 16}
+
+	arm := cluster.Tibidabo(16)
+	ra := specfem.Run(arm, 16, cfg)
+	wa := arm.PowerW(2)
+
+	// A 4-node Sandy Bridge server cluster: the i7 silicon in a server
+	// chassis (PSU, fans, board ~250 W/node overhead, as in the
+	// Nehalem-class cluster of the companion study).
+	x86 := cluster.New(cluster.Config{
+		Nodes: 4, Platform: soc.CoreI7, FGHz: 2.4,
+		Proto: interconnect.TCPIP(), LinkGbps: 1.0, SwitchLatUS: 2.0,
+		NodeOverW: 250, SwitchW: 25,
+	})
+	rx := specfem.Run(x86, 4, specfem.Config{
+		Elements: cfg.Elements, Steps: cfg.Steps, RealElements: cfg.RealElements, Threads: 4})
+	wx := x86.PowerW(4)
+
+	ea := wa * ra.Elapsed
+	ex := wx * rx.Elapsed
+	t.AddRowf("Tibidabo (ARM)|16|%.2f|%.0f|%.2f", ra.Elapsed, wa, ea/1e3)
+	t.AddRowf("x86 server cluster|4|%.2f|%.0f|%.2f", rx.Elapsed, wx, ex/1e3)
+	t.AddRowf("ratio (ARM/x86)|-|%.2f|%.2f|%.2f", ra.Elapsed/rx.Elapsed, wa/wx, ea/ex)
+	t.Notes = append(t.Notes,
+		"companion study [13]: Tibidabo up to 4x slower but up to 3x lower energy-to-solution",
+		"the ARM machine trades time for energy — the paper's central value proposition")
+	return t
+}
+
+func runOpenMXAblation(o Options) *Table {
+	t := &Table{
+		ID: "ablation-openmx", Title: "Tibidabo HPL efficiency: TCP/IP vs Open-MX",
+		Paper:   "§4.1 ablation",
+		Columns: []string{"nodes", "TCP/IP eff.", "Open-MX eff.", "GFLOPS gain"},
+	}
+	nodes := []int{16, 48, 96}
+	if o.Quick {
+		nodes = []int{4, 16}
+	}
+	for _, n := range nodes {
+		N := int(8192 * math.Sqrt(float64(n)))
+		run := func(proto interconnect.Protocol) hpl.Result {
+			cl := cluster.New(cluster.Config{
+				Nodes: n, Platform: soc.Tegra2, FGHz: 1.0, Proto: proto,
+				LinkGbps: 1.0, UplinkGbps: 4.0, SwitchRadix: 48, SwitchLatUS: 2.0,
+				NodeOverW: 3.5, SwitchW: 25,
+			})
+			return hpl.Run(cl, n, hpl.Config{N: N, RealN: 64})
+		}
+		rt := run(interconnect.TCPIP())
+		ro := run(interconnect.OpenMX())
+		t.AddRowf("%d|%.1f%%|%.1f%%|%+.1f%%",
+			n, rt.Efficiency*100, ro.Efficiency*100, (ro.GFLOPS/rt.GFLOPS-1)*100)
+	}
+	t.Notes = append(t.Notes,
+		"quantifies §4.1's motivation: the lighter stack recovers part of the HPL efficiency lost to communication")
+	return t
+}

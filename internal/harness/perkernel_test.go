@@ -1,0 +1,119 @@
+package harness
+
+// Per-kernel calibration tests: §3.1.1's attribution claims, checked
+// at kernel granularity rather than suite averages.
+
+import (
+	"testing"
+
+	"mobilehpc/internal/kernels"
+	"mobilehpc/internal/perf"
+	"mobilehpc/internal/soc"
+)
+
+// memBoundOn reports whether kernel pr is memory-bound on p at fGHz
+// (single core): memory time exceeds compute time.
+func memBoundOn(p *soc.Platform, fGHz float64, pr perf.Profile) bool {
+	tc := pr.Flops / perf.ComputeRate(p, fGHz, pr)
+	tm := 0.0
+	if pr.Bytes > 0 {
+		tm = pr.Bytes / perf.SingleCoreBW(p, fGHz, pr.Pattern)
+	}
+	return tm > tc
+}
+
+// §3.1.1: "Tegra 3 has an improved memory controller which brings a
+// performance increase in memory-intensive micro-kernels" — at equal
+// 1 GHz clocks, the Tegra3-over-Tegra2 gain must be concentrated in
+// the memory-bound kernels.
+func TestTegra3GainsConcentratedInMemoryKernels(t *testing.T) {
+	t2, t3 := soc.Tegra2(), soc.Tegra3()
+	var memGain, compGain float64
+	var memN, compN int
+	for _, k := range kernels.Suite() {
+		pr := k.Profile()
+		g := perf.IterTime(t2, 1.0, pr, 1) / perf.IterTime(t3, 1.0, pr, 1)
+		if memBoundOn(t2, 1.0, pr) {
+			memGain += g
+			memN++
+		} else {
+			compGain += g
+			compN++
+		}
+	}
+	if memN == 0 || compN == 0 {
+		t.Fatalf("degenerate split: %d mem-bound, %d compute-bound", memN, compN)
+	}
+	memGain /= float64(memN)
+	compGain /= float64(compN)
+	if memGain <= compGain {
+		t.Errorf("memory-bound gain %.3f not above compute-bound gain %.3f", memGain, compGain)
+	}
+	// Same core: compute-bound kernels should barely move at 1 GHz
+	// (their residual memory term still sees the better controller).
+	if compGain > 1.05 {
+		t.Errorf("compute-bound kernels gained %.3f on an identical core", compGain)
+	}
+}
+
+// The suite must mix both regimes on the ARM parts — Table 2's design
+// goal of stressing "different architectural features".
+func TestSuiteMixesComputeAndMemoryBound(t *testing.T) {
+	for _, p := range []*soc.Platform{soc.Tegra2(), soc.Exynos5250()} {
+		mem, comp := 0, 0
+		for _, k := range kernels.Suite() {
+			if memBoundOn(p, p.MaxFreq(), k.Profile()) {
+				mem++
+			} else {
+				comp++
+			}
+		}
+		if mem < 3 || comp < 3 {
+			t.Errorf("%s: unbalanced suite: %d memory-bound, %d compute-bound",
+				p.Name, mem, comp)
+		}
+	}
+}
+
+// nbody and amcd are the compute kernels (Table 2: "peak compute
+// performance"); they must be compute-bound on every platform.
+func TestComputeKernelsComputeBoundEverywhere(t *testing.T) {
+	for _, tag := range []string{"nbody", "amcd", "dmmm"} {
+		k, err := kernels.ByTag(tag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range soc.All() {
+			if memBoundOn(p, p.MaxFreq(), k.Profile()) {
+				t.Errorf("%s memory-bound on %s", tag, p.Name)
+			}
+		}
+	}
+}
+
+// vecop is pure streaming; it must be memory-bound everywhere.
+func TestVecopMemoryBoundEverywhere(t *testing.T) {
+	k, err := kernels.ByTag("vecop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range soc.All() {
+		if !memBoundOn(p, p.MaxFreq(), k.Profile()) {
+			t.Errorf("vecop compute-bound on %s", p.Name)
+		}
+	}
+}
+
+// §3.1.2: quad-core Tegra3 at 1 GHz gains more from multithreading on
+// compute-bound kernels than on bandwidth-saturated ones.
+func TestMulticoreGainSplitOnTegra3(t *testing.T) {
+	p := soc.Tegra3()
+	amcd, _ := kernels.ByTag("amcd")
+	vecop, _ := kernels.ByTag("vecop")
+	gain := func(pr perf.Profile) float64 {
+		return perf.IterTime(p, 1.0, pr, 1) / perf.IterTime(p, 1.0, pr, p.Cores)
+	}
+	if ga, gv := gain(amcd.Profile()), gain(vecop.Profile()); ga <= gv {
+		t.Errorf("amcd multicore gain %.2f not above vecop %.2f", ga, gv)
+	}
+}

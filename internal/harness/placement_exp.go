@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"fmt"
+
+	"mobilehpc/internal/cluster"
+	"mobilehpc/internal/mpi"
+	"mobilehpc/internal/power"
+	"mobilehpc/internal/soc"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "placement",
+		Title: "Rank placement on the hierarchical network",
+		Paper: "§4 network ablation",
+		Run:   runPlacement,
+	})
+	register(Experiment{
+		ID:    "metering",
+		Title: "Why the paper meters only the parallel region (§3.1)",
+		Paper: "§3.1 methodology",
+		Run:   runMetering,
+	})
+}
+
+// runPlacement quantifies topology-aware placement on Tibidabo's tree:
+// a ring halo exchange among neighbours that share a leaf switch never
+// touches the trunks; the same exchange with partners 48 apart crosses
+// them on every message.
+func runPlacement(o Options) *Table {
+	t := &Table{
+		ID: "placement", Title: "96-node ring halo exchange: neighbour distance",
+		Paper:   "§4 network",
+		Columns: []string{"partner stride", "crosses trunks", "elapsed (s)", "slowdown"},
+	}
+	const nodes = 96
+	steps := 30
+	if o.Quick {
+		steps = 10
+	}
+	const halo = 256 << 10
+	run := func(stride int) float64 {
+		cl := cluster.Tibidabo(nodes)
+		return mpi.Run(cl, nodes, func(r *mpi.Rank) {
+			me := r.ID()
+			up := (me + stride) % nodes
+			down := (me - stride + nodes) % nodes
+			for s := 0; s < steps; s++ {
+				r.Send(up, 1, nil, halo)
+				r.Send(down, 2, nil, halo)
+				r.Recv(down, 1)
+				r.Recv(up, 2)
+			}
+		})
+	}
+	base := run(1)
+	for _, stride := range []int{1, 8, 48} {
+		el := base
+		if stride != 1 {
+			el = run(stride)
+		}
+		cross := stride == 48 // strides 1 and 8 stay mostly leaf-local
+		t.AddRowf("%d|%v|%.3f|%.2fx", stride, cross, el, el/base)
+	}
+	t.Notes = append(t.Notes,
+		"contiguous (stride-1) placement keeps halo traffic inside the 48-port leaves;",
+		"a stride-48 mapping forces every halo through the shared 4 Gb/s trunks")
+	return t
+}
+
+// runMetering reproduces the §3.1 measurement discipline: "power and
+// performance are measured only for the parallel region of the
+// application, excluding the initialization and finalization phases"
+// (dev kits load over NFS, the laptop from disk — including them would
+// skew the comparison).
+func runMetering(Options) *Table {
+	t := &Table{
+		ID: "metering", Title: "Energy accounting: whole run vs parallel region only",
+		Paper:   "§3.1",
+		Columns: []string{"platform", "E parallel (J)", "E incl. init/fini (J)", "inflation"},
+	}
+	for _, p := range soc.All() {
+		// A representative run: 3 s serial setup (NFS load, allocation),
+		// 20 s parallel region, 2 s teardown.
+		parallel := power.Measure(p, power.Yokogawa, []power.Phase{
+			{Dur: 20, FGHz: p.MaxFreq(), ActiveCores: p.Cores},
+		}).Joules
+		whole := power.Measure(p, power.Yokogawa, []power.Phase{
+			{Dur: 3, FGHz: p.MaxFreq(), ActiveCores: 1},
+			{Dur: 20, FGHz: p.MaxFreq(), ActiveCores: p.Cores},
+			{Dur: 2, FGHz: p.MaxFreq(), ActiveCores: 1},
+		}).Joules
+		t.AddRowf("%s|%.0f|%.0f|%+.0f%%", p.Name, parallel, whole, (whole/parallel-1)*100)
+	}
+	t.Notes = append(t.Notes,
+		"the paper meters only the parallel region; footnote 11: a fair whole-run comparison was",
+		fmt.Sprintf("impossible because 'the developer kits use NFS whereas the laptop uses its hard drive'"))
+	return t
+}

@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"fmt"
+
+	"mobilehpc/internal/kernels"
+	"mobilehpc/internal/metrics"
+	"mobilehpc/internal/perf"
+	"mobilehpc/internal/soc"
+	"mobilehpc/internal/stream"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig3",
+		Title: "Single-core performance and energy vs frequency",
+		Paper: "Figure 3",
+		Run:   func(o Options) *Table { return runFreqSweep("fig3", "Figure 3", 1, o) },
+	})
+	register(Experiment{
+		ID:    "fig4",
+		Title: "Multi-core performance and energy vs frequency",
+		Paper: "Figure 4",
+		Run:   func(o Options) *Table { return runFreqSweep("fig4", "Figure 4", 0, o) },
+	})
+	register(Experiment{
+		ID:    "fig5",
+		Title: "STREAM memory bandwidth",
+		Paper: "Figure 5",
+		Run:   runFig5,
+	})
+	register(Experiment{
+		ID:    "table4",
+		Title: "Network bytes/FLOPS ratios",
+		Paper: "Table 4",
+		Run:   runTable4,
+	})
+}
+
+// baseline returns the Tegra2@1GHz serial suite results (the
+// normalisation point of Figures 3 and 4).
+func baseline() perf.SuitePerf {
+	return perf.Suite(soc.Tegra2(), 1.0, kernels.Profiles(), 1)
+}
+
+// runFreqSweep builds the Figure 3/4 table: threads = 1 for the serial
+// sweep, 0 for "all cores of each platform".
+func runFreqSweep(id, paper string, threads int, _ Options) *Table {
+	t := &Table{
+		ID: id, Title: "Kernel-suite mean vs Tegra2@1GHz serial",
+		Paper:   paper,
+		Columns: []string{"platform", "freq (GHz)", "threads", "speedup", "energy/iter (J)", "rel. energy"},
+	}
+	base := baseline()
+	profiles := kernels.Profiles()
+	for _, p := range soc.All() {
+		th := threads
+		if th == 0 {
+			th = p.Cores
+		}
+		for _, f := range p.FreqGHz {
+			s := perf.Suite(p, f, profiles, th)
+			t.AddRowf("%s|%.3f|%d|%.2f|%.2f|%.2f",
+				p.Name, f, th, base.MeanTime/s.MeanTime, s.MeanEnergy,
+				s.MeanEnergy/base.MeanEnergy)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"speedup and per-iteration energy averaged over the 11 Table 2 kernels",
+		"baseline: Tegra2 at 1 GHz, serial (23.93 J/iter in the paper)")
+	return t
+}
+
+func runFig5(Options) *Table {
+	t := &Table{
+		ID: "fig5", Title: "STREAM bandwidth (GB/s)",
+		Paper:   "Figure 5",
+		Columns: []string{"platform", "mode", "Copy", "Scale", "Add", "Triad", "eff. vs peak"},
+	}
+	for _, p := range soc.All() {
+		for _, multi := range []bool{false, true} {
+			mode := "single core"
+			if multi {
+				mode = "all cores"
+			}
+			rs := stream.Table(p, multi)
+			t.AddRowf("%s|%s|%.2f|%.2f|%.2f|%.2f|%.0f%%",
+				p.Name, mode, rs[0].GBs, rs[1].GBs, rs[2].GBs, rs[3].GBs,
+				rs[0].Efficiency()*100)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper multicore efficiencies: 62% Tegra2, 27% Tegra3, 52% Exynos5250, 57% i7")
+	return t
+}
+
+func runTable4(Options) *Table {
+	t := &Table{
+		ID: "table4", Title: "Network bytes/FLOPS (FP64, excluding GPU)",
+		Paper:   "Table 4",
+		Columns: []string{"platform", "1GbE", "10GbE", "40Gb InfiniBand"},
+	}
+	for _, p := range soc.All() {
+		row := metrics.Table4Row(p)
+		t.AddRowf("%s|%.2f|%.2f|%.2f", p.Name, row[0], row[1], row[2])
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"dual-socket Sandy Bridge with 40Gb IB for reference: %.3f bytes/FLOPS",
+		(40e9/8)/(2*166.4e9)))
+	return t
+}

@@ -1,0 +1,183 @@
+// Package harness is the experiment driver of the reproduction: one
+// registered experiment per table and figure of the paper, each
+// producing a text table with the same rows/series the paper reports.
+// The cmd/mhpc binary and the top-level benchmarks are thin wrappers
+// around this registry; EXPERIMENTS.md records paper-vs-measured for
+// every entry.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Paper   string // which paper artefact this regenerates
+	Notes   []string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("harness: row has %d cells, table %q has %d columns",
+			len(cells), t.ID, len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddRowf appends a row formatting each value with its verb.
+func (t *Table) AddRowf(format string, vals ...any) {
+	t.AddRow(strings.Split(fmt.Sprintf(format, vals...), "|")...)
+}
+
+// Render writes the table as aligned fixed-width text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if _, err := fmt.Fprintf(w, "## %s — %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	if t.Paper != "" {
+		if _, err := fmt.Fprintf(w, "   reproduces: %s\n", t.Paper); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w, line(t.Columns)); err != nil {
+		return err
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total-2)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// CSV writes the table as comma-separated values (quotes cells that
+// contain commas).
+func (t *Table) CSV(w io.Writer) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	rows := append([][]string{t.Columns}, t.Rows...)
+	for _, row := range rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = esc(c)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Options tunes experiment execution.
+type Options struct {
+	// Quick shrinks node counts and step counts so the whole registry
+	// runs in seconds (used by tests and the default CLI mode).
+	Quick bool
+}
+
+// Experiment is one registered table/figure generator.
+type Experiment struct {
+	ID    string
+	Title string
+	Paper string
+	Run   func(Options) *Table
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// paperOrder is the canonical listing order: the order artefacts
+// appear in the paper.
+var paperOrder = []string{
+	"fig1", "fig2a", "fig2b", "table1", "table2", "fig3", "fig4", "fig5",
+	"table3", "fig6", "green500", "fig7", "latpenalty", "table4",
+	// extensions: the paper's lessons-learned and projections, implemented
+	"projection", "reliability", "iobottleneck", "energycompare", "ablation-openmx",
+	"bisection", "governor", "microserver", "accel", "green500-context", "stability",
+	"balance", "fabric", "hpl-grid", "gromacs-inputs", "fig7sweep", "hetero", "placement", "metering", "ompss",
+}
+
+// Experiments returns all registered experiments in paper order;
+// experiments without a listed position sort last in registration
+// order.
+func Experiments() []Experiment {
+	pos := make(map[string]int, len(paperOrder))
+	for i, id := range paperOrder {
+		pos[id] = i
+	}
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool {
+		pi, iok := pos[out[i].ID]
+		pj, jok := pos[out[j].ID]
+		if iok && jok {
+			return pi < pj
+		}
+		return iok && !jok
+	})
+	return out
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("harness: unknown experiment %q", id)
+}
+
+// RunAll executes every experiment and renders the results to w.
+func RunAll(w io.Writer, opt Options) error {
+	for _, e := range Experiments() {
+		if err := e.Run(opt).Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

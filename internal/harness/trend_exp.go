@@ -1,0 +1,175 @@
+package harness
+
+import (
+	"fmt"
+
+	"mobilehpc/internal/kernels"
+	"mobilehpc/internal/soc"
+	"mobilehpc/internal/trend"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig1",
+		Title: "TOP500 systems by architecture class, 1993-2013",
+		Paper: "Figure 1",
+		Run:   runFig1,
+	})
+	register(Experiment{
+		ID:    "fig2a",
+		Title: "Peak FP64: vector machines vs commodity microprocessors",
+		Paper: "Figure 2a",
+		Run:   runFig2a,
+	})
+	register(Experiment{
+		ID:    "fig2b",
+		Title: "Peak FP64: server processors vs mobile SoCs",
+		Paper: "Figure 2b",
+		Run:   runFig2b,
+	})
+	register(Experiment{
+		ID:    "table1",
+		Title: "Platforms under evaluation",
+		Paper: "Table 1",
+		Run:   runTable1,
+	})
+	register(Experiment{
+		ID:    "table2",
+		Title: "Micro-kernels used for platform evaluation",
+		Paper: "Table 2",
+		Run:   runTable2,
+	})
+	register(Experiment{
+		ID:    "table3",
+		Title: "Applications for scalability evaluation",
+		Paper: "Table 3",
+		Run:   runTable3,
+	})
+}
+
+func runFig1(Options) *Table {
+	t := &Table{
+		ID: "fig1", Title: "TOP500 systems by architecture class",
+		Paper:   "Figure 1",
+		Columns: []string{"year", "x86", "RISC", "vector/SIMD"},
+		Notes: []string{
+			"special-purpose HPC replaced by RISC microprocessors, in turn displaced by x86",
+		},
+	}
+	for _, e := range trend.Top500Shares() {
+		t.AddRowf("%d|%d|%d|%d", e.Year, e.X86, e.RISC, e.VectorSIMD)
+	}
+	return t
+}
+
+func fitRow(t *Table, s trend.Series) {
+	f := trend.FitExponential(s)
+	for _, p := range trend.SortedByYear(s) {
+		t.AddRowf("%s|%.0f|%s|%.0f|%.0f", s.Name, p.Year, p.Name, p.MFLOPS, f.Eval(p.Year))
+	}
+}
+
+func runFig2a(Options) *Table {
+	t := &Table{
+		ID: "fig2a", Title: "Peak FP64 MFLOPS, vector vs commodity (1975-2000)",
+		Paper:   "Figure 2a",
+		Columns: []string{"series", "year", "processor", "MFLOPS", "exp. fit"},
+	}
+	v := trend.VectorMachines()
+	m := trend.Microprocessors()
+	fitRow(t, v)
+	fitRow(t, m)
+	fv, fm := trend.FitExponential(v), trend.FitExponential(m)
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("vector doubling time %.1f y; microprocessor %.1f y", fv.DoublingTime, fm.DoublingTime),
+		fmt.Sprintf("gap in 1995: %.1fx (paper: ~10x during the transition)", trend.GapAt(fv, fm, 1995)))
+	return t
+}
+
+func runFig2b(Options) *Table {
+	t := &Table{
+		ID: "fig2b", Title: "Peak FP64 MFLOPS, server vs mobile (1990-2015)",
+		Paper:   "Figure 2b",
+		Columns: []string{"series", "year", "processor", "MFLOPS", "exp. fit"},
+	}
+	s := trend.ServerProcessors()
+	m := trend.MobileSoCs()
+	fitRow(t, s)
+	fitRow(t, m)
+	fs, fm := trend.FitExponential(s), trend.FitExponential(m)
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("server doubling time %.1f y; mobile %.1f y", fs.DoublingTime, fm.DoublingTime),
+		fmt.Sprintf("gap in 2013: %.1fx (paper: ~10x)", trend.GapAt(fs, fm, 2013)),
+		fmt.Sprintf("projected crossover: %.0f", trend.CrossoverYear(fs, fm)))
+	return t
+}
+
+func runTable1(Options) *Table {
+	t := &Table{
+		ID: "table1", Title: "Platforms under evaluation",
+		Paper:   "Table 1",
+		Columns: []string{"property", "Tegra2", "Tegra3", "Exynos5250", "i7-2760QM"},
+	}
+	ps := soc.All()
+	row := func(name string, f func(p *soc.Platform) string) {
+		cells := []string{name}
+		for _, p := range ps {
+			cells = append(cells, f(p))
+		}
+		t.AddRow(cells...)
+	}
+	row("CPU architecture", func(p *soc.Platform) string { return string(p.Arch.ID) })
+	row("max frequency (GHz)", func(p *soc.Platform) string { return fmt.Sprintf("%.1f", p.MaxFreq()) })
+	row("cores", func(p *soc.Platform) string { return fmt.Sprintf("%d", p.Cores) })
+	row("threads", func(p *soc.Platform) string { return fmt.Sprintf("%d", p.Threads) })
+	row("FP64 GFLOPS", func(p *soc.Platform) string { return fmt.Sprintf("%.1f", p.PeakGFLOPSMax()) })
+	row("L1 I/D (KB)", func(p *soc.Platform) string { return fmt.Sprintf("%d/%d", p.L1KB, p.L1KB) })
+	row("L2 (KB)", func(p *soc.Platform) string {
+		kind := "private"
+		if p.L2Shared {
+			kind = "shared"
+		}
+		return fmt.Sprintf("%d %s", p.L2KB, kind)
+	})
+	row("L3 (KB)", func(p *soc.Platform) string {
+		if p.L3KB == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%d shared", p.L3KB)
+	})
+	row("memory channels", func(p *soc.Platform) string { return fmt.Sprintf("%d", p.Mem.Channels) })
+	row("channel width (bits)", func(p *soc.Platform) string { return fmt.Sprintf("%d", p.Mem.WidthBits) })
+	row("peak mem BW (GB/s)", func(p *soc.Platform) string { return fmt.Sprintf("%.2f", p.Mem.PeakGBs) })
+	row("DRAM", func(p *soc.Platform) string {
+		return fmt.Sprintf("%d MB %s", p.Mem.DRAMMB, p.Mem.DRAMType)
+	})
+	row("developer kit", func(p *soc.Platform) string { return p.Board })
+	row("NIC attach", func(p *soc.Platform) string { return string(p.NIC) })
+	return t
+}
+
+func runTable2(Options) *Table {
+	t := &Table{
+		ID: "table2", Title: "Micro-kernel suite",
+		Paper:   "Table 2",
+		Columns: []string{"tag", "full name", "properties"},
+	}
+	for _, k := range kernels.Suite() {
+		t.AddRow(k.Tag(), k.FullName(), k.Properties())
+	}
+	return t
+}
+
+func runTable3(Options) *Table {
+	t := &Table{
+		ID: "table3", Title: "Applications for scalability evaluation",
+		Paper:   "Table 3",
+		Columns: []string{"application", "description", "scaling mode"},
+	}
+	t.AddRow("HPL", "High-Performance LINPACK", "weak")
+	t.AddRow("PEPC", "Tree code for N-body problem", "strong (min 24 nodes)")
+	t.AddRow("HYDRO", "2D Eulerian code for hydrodynamics", "strong")
+	t.AddRow("GROMACS", "Molecular dynamics", "strong")
+	t.AddRow("SPECFEM3D", "3D seismic wave propagation (spectral elements)", "strong")
+	return t
+}

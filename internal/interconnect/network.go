@@ -1,0 +1,171 @@
+package interconnect
+
+import (
+	"fmt"
+
+	"mobilehpc/internal/sim"
+)
+
+// Link is a unidirectional point-to-point channel with finite
+// bandwidth, modelled as a serially-occupied resource: one message
+// holds the link for its serialisation time (store-and-forward).
+type Link struct {
+	Name string
+	Gbps float64
+	res  *sim.Resource
+}
+
+// NewLink creates a link bound to engine e.
+func NewLink(e *sim.Engine, name string, gbps float64) *Link {
+	if gbps <= 0 {
+		panic("interconnect: non-positive link bandwidth")
+	}
+	return &Link{Name: name, Gbps: gbps, res: sim.NewResource(e, 1)}
+}
+
+// SerializationTime returns the wire time for m bytes.
+func (l *Link) SerializationTime(m int) float64 {
+	return float64(m) * 8 / (l.Gbps * 1e9)
+}
+
+// Transfer occupies the link for m bytes from process p, blocking p
+// while the link is busy with earlier messages.
+func (l *Link) Transfer(p *sim.Proc, m int) {
+	l.res.Acquire(p)
+	p.Wait(l.SerializationTime(m))
+	l.res.Release()
+}
+
+// TransferChunked moves m bytes in chunks of at most `chunk` bytes,
+// releasing the link between chunks so concurrent flows interleave —
+// packet-granularity fairness instead of whole-message FIFO. With
+// chunk <= 0 it degenerates to Transfer.
+func (l *Link) TransferChunked(p *sim.Proc, m, chunk int) {
+	if chunk <= 0 || m <= chunk {
+		l.Transfer(p, m)
+		return
+	}
+	for sent := 0; sent < m; sent += chunk {
+		c := chunk
+		if m-sent < c {
+			c = m - sent
+		}
+		l.Transfer(p, c)
+	}
+}
+
+// Network is a set of endpoints (node indices) joined by a routed
+// topology of links plus per-hop switch latency.
+type Network struct {
+	Eng         *sim.Engine
+	SwitchLatUS float64 // per switch traversal, µs
+	// ChunkBytes, when positive, packetises link occupancy: messages
+	// hold each link for at most this many bytes at a time, so
+	// concurrent flows share a congested link fairly instead of
+	// queueing whole messages FIFO. Zero keeps message granularity
+	// (the calibrated default).
+	ChunkBytes int
+	route      func(src, dst int) []*Link
+	nodes      int
+}
+
+// Nodes returns the number of attached endpoints.
+func (n *Network) Nodes() int { return n.nodes }
+
+// Route returns the link path between two nodes.
+func (n *Network) Route(src, dst int) []*Link {
+	if src < 0 || src >= n.nodes || dst < 0 || dst >= n.nodes {
+		panic(fmt.Sprintf("interconnect: route %d->%d outside %d nodes", src, dst, n.nodes))
+	}
+	if src == dst {
+		return nil
+	}
+	return n.route(src, dst)
+}
+
+// Deliver moves an m-byte message from src to dst on behalf of process
+// p: each link on the path is held for its serialisation time, and each
+// switch adds its forwarding latency.
+func (n *Network) Deliver(p *sim.Proc, src, dst, m int) {
+	path := n.Route(src, dst)
+	for _, l := range path {
+		l.TransferChunked(p, m, n.ChunkBytes)
+	}
+	if len(path) > 1 {
+		// hops through switches = links - 1 for a single-switch path,
+		// but every link lands on a switch except the last (NIC): use
+		// len(path)-1 switch traversals.
+		p.Wait(float64(len(path)-1) * n.SwitchLatUS * 1e-6)
+	}
+}
+
+// PathHops returns the number of switch-to-switch hops between nodes —
+// the quantity the paper bounds at three for Tibidabo.
+func (n *Network) PathHops(src, dst int) int {
+	path := n.Route(src, dst)
+	if len(path) == 0 {
+		return 0
+	}
+	return len(path) - 1
+}
+
+// SingleSwitch builds a star topology: every node connects up and down
+// to one switch. Link capacity gbps each way.
+func SingleSwitch(e *sim.Engine, nodes int, gbps, switchLatUS float64) *Network {
+	up := make([]*Link, nodes)
+	down := make([]*Link, nodes)
+	for i := range up {
+		up[i] = NewLink(e, fmt.Sprintf("up%d", i), gbps)
+		down[i] = NewLink(e, fmt.Sprintf("down%d", i), gbps)
+	}
+	return &Network{
+		Eng: e, SwitchLatUS: switchLatUS, nodes: nodes,
+		route: func(src, dst int) []*Link {
+			return []*Link{up[src], down[dst]}
+		},
+	}
+}
+
+// Tree builds the two-level hierarchical Ethernet of Tibidabo: leaf
+// switches with `radix` node ports each, joined by a core switch
+// through uplinks of uplinkGbps (aggregated trunks; the bisection
+// bandwidth is leaves*uplinkGbps/2 each way).
+func Tree(e *sim.Engine, nodes, radix int, gbps, uplinkGbps, switchLatUS float64) *Network {
+	if radix <= 0 {
+		panic("interconnect: non-positive radix")
+	}
+	leaves := (nodes + radix - 1) / radix
+	up := make([]*Link, nodes)
+	down := make([]*Link, nodes)
+	for i := range up {
+		up[i] = NewLink(e, fmt.Sprintf("up%d", i), gbps)
+		down[i] = NewLink(e, fmt.Sprintf("down%d", i), gbps)
+	}
+	trunkUp := make([]*Link, leaves)
+	trunkDown := make([]*Link, leaves)
+	for l := range trunkUp {
+		trunkUp[l] = NewLink(e, fmt.Sprintf("trunkUp%d", l), uplinkGbps)
+		trunkDown[l] = NewLink(e, fmt.Sprintf("trunkDown%d", l), uplinkGbps)
+	}
+	return &Network{
+		Eng: e, SwitchLatUS: switchLatUS, nodes: nodes,
+		route: func(src, dst int) []*Link {
+			ls, ld := src/radix, dst/radix
+			if ls == ld {
+				return []*Link{up[src], down[dst]}
+			}
+			return []*Link{up[src], trunkUp[ls], trunkDown[ld], down[dst]}
+		},
+	}
+}
+
+// BisectionGbps returns the bisection bandwidth of a Tree network
+// configuration (informational; Tibidabo's is 8 Gb/s).
+func BisectionGbps(nodes, radix int, uplinkGbps float64) float64 {
+	leaves := (nodes + radix - 1) / radix
+	half := leaves / 2
+	if half == 0 {
+		half = 1
+	}
+	return float64(half) * uplinkGbps
+}

@@ -1,0 +1,119 @@
+package interconnect
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mobilehpc/internal/sim"
+	"mobilehpc/internal/soc"
+)
+
+// Property: one-way latency is monotone non-decreasing in message size
+// for every platform/protocol/frequency combination.
+func TestLatencyMonotoneInSizeProperty(t *testing.T) {
+	plats := []*soc.Platform{soc.Tegra2(), soc.Exynos5250(), soc.CoreI7()}
+	protos := []Protocol{TCPIP(), OpenMX()}
+	f := func(p8, pr8 uint8, m1, m2 uint32) bool {
+		p := plats[int(p8)%len(plats)]
+		proto := protos[int(pr8)%len(protos)]
+		e := Endpoint{Platform: p, FGHz: p.MaxFreq(), Proto: proto}
+		a, b := int(m1%(1<<24)), int(m2%(1<<24))
+		if a > b {
+			a, b = b, a
+		}
+		return OneWayLatency(e, a, 1.0) <= OneWayLatency(e, b, 1.0)+1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: effective bandwidth never exceeds the link and grows with
+// message size within a protocol regime (no rendezvous boundary).
+func TestBandwidthBoundedProperty(t *testing.T) {
+	e := Endpoint{Platform: soc.Tegra2(), FGHz: 1.0, Proto: TCPIP()}
+	f := func(m32 uint32) bool {
+		m := int(m32%(1<<24)) + 1
+		bw := EffectiveBandwidth(e, m, 1.0)
+		return bw > 0 && bw <= 125.0001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: faster clocks never increase latency.
+func TestLatencyMonotoneInFrequencyProperty(t *testing.T) {
+	ex := soc.Exynos5250()
+	f := func(m32 uint32, pr8 uint8) bool {
+		m := int(m32 % (1 << 20))
+		proto := TCPIP()
+		if pr8%2 == 1 {
+			proto = OpenMX()
+		}
+		prev := math.Inf(1)
+		for _, fr := range ex.FreqGHz {
+			l := OneWayLatency(Endpoint{Platform: ex, FGHz: fr, Proto: proto}, m, 1.0)
+			if l > prev+1e-15 {
+				return false
+			}
+			prev = l
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: in a tree network, concurrent same-leaf flows never slow
+// down because of cross-leaf traffic on other trunks.
+func TestLeafIsolationProperty(t *testing.T) {
+	f := func(m16 uint16) bool {
+		m := int(m16)*100 + 1000
+		run := func(withCross bool) float64 {
+			e := sim.NewEngine()
+			n := Tree(e, 96, 48, 1.0, 1.0, 0)
+			var localDone float64
+			e.Go("local", func(p *sim.Proc) {
+				n.Deliver(p, 2, 3, m)
+				localDone = p.Now()
+			})
+			if withCross {
+				e.Go("cross", func(p *sim.Proc) { n.Deliver(p, 50, 51, m) })
+			}
+			e.RunAll()
+			return localDone
+		}
+		return math.Abs(run(true)-run(false)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Determinism: the same delivery scenario produces identical timings
+// across repeated simulations.
+func TestDeliveryDeterministic(t *testing.T) {
+	run := func() []float64 {
+		e := sim.NewEngine()
+		n := Tree(e, 96, 48, 1.0, 4.0, 2.0)
+		out := make([]float64, 6)
+		for i := 0; i < 6; i++ {
+			i := i
+			e.Go("tx", func(p *sim.Proc) {
+				n.Deliver(p, i, 95-i, 1<<18)
+				out[i] = p.Now()
+			})
+		}
+		e.RunAll()
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic delivery at flow %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

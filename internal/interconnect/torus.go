@@ -1,0 +1,101 @@
+package interconnect
+
+import (
+	"fmt"
+
+	"mobilehpc/internal/sim"
+)
+
+// Torus3D builds a 3-D torus of dimensions X x Y x Z — the
+// architecture-specific fabric of the BlueGene line the paper's §2
+// contrasts with commodity Ethernet ("compute power comes from
+// embedded cores integrated on an ASIC, together with
+// architecture-specific interconnect fabrics"). Each node has six
+// links; messages route dimension-ordered (X, then Y, then Z) with
+// shortest direction per ring. Having it beside the Tibidabo tree lets
+// experiments ask what a BlueGene-style fabric would change.
+func Torus3D(e *sim.Engine, x, y, z int, gbps, hopLatUS float64) *Network {
+	if x <= 0 || y <= 0 || z <= 0 {
+		panic("interconnect: non-positive torus dimension")
+	}
+	nodes := x * y * z
+	// links[node][dir]: 0 +X, 1 -X, 2 +Y, 3 -Y, 4 +Z, 5 -Z.
+	links := make([][6]*Link, nodes)
+	for n := 0; n < nodes; n++ {
+		for d := 0; d < 6; d++ {
+			links[n][d] = NewLink(e, fmt.Sprintf("t%d.%d", n, d), gbps)
+		}
+	}
+	id := func(i, j, k int) int { return (k*y+j)*x + i }
+	coord := func(n int) (int, int, int) { return n % x, (n / x) % y, n / (x * y) }
+
+	// ringSteps returns the per-hop direction (+1/-1) choices to travel
+	// from a to b on a ring of length l, shortest way.
+	ringSteps := func(a, b, l int) (dir, dist int) {
+		fwd := ((b-a)%l + l) % l
+		bwd := l - fwd
+		if fwd == 0 {
+			return 0, 0
+		}
+		if fwd <= bwd {
+			return +1, fwd
+		}
+		return -1, bwd
+	}
+
+	return &Network{
+		Eng: e, SwitchLatUS: hopLatUS, nodes: nodes,
+		route: func(src, dst int) []*Link {
+			si, sj, sk := coord(src)
+			di, dj, dk := coord(dst)
+			var path []*Link
+			// X dimension.
+			dir, dist := ringSteps(si, di, x)
+			for s := 0; s < dist; s++ {
+				d := 0
+				if dir < 0 {
+					d = 1
+				}
+				path = append(path, links[id(si, sj, sk)][d])
+				si = ((si+dir)%x + x) % x
+			}
+			// Y dimension.
+			dir, dist = ringSteps(sj, dj, y)
+			for s := 0; s < dist; s++ {
+				d := 2
+				if dir < 0 {
+					d = 3
+				}
+				path = append(path, links[id(si, sj, sk)][d])
+				sj = ((sj+dir)%y + y) % y
+			}
+			// Z dimension.
+			dir, dist = ringSteps(sk, dk, z)
+			for s := 0; s < dist; s++ {
+				d := 4
+				if dir < 0 {
+					d = 5
+				}
+				path = append(path, links[id(si, sj, sk)][d])
+				sk = ((sk+dir)%z + z) % z
+			}
+			return path
+		},
+	}
+}
+
+// InfiniBand returns a 40 Gb QDR-class protocol stack: kernel-bypass
+// verbs with microsecond-scale latency and negligible per-byte CPU
+// cost — the §6.3 interconnect mobile SoCs cannot attach for lack of
+// PCIe ("the lack of high bandwidth I/O interfaces in mobile SoCs
+// prevents the use of ... QDR-FDR Infiniband"). Pair it with the
+// 40 Gb/s link rate from metrics.Table4Networks.
+func InfiniBand() Protocol {
+	return Protocol{
+		Name:            "InfiniBand QDR",
+		FixedLatUS:      1.3,
+		CPUTimeUS:       0.7,
+		PerByteUS:       0.004e-3,
+		RendezvousBytes: 16 << 10,
+	}
+}

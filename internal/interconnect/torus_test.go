@@ -1,0 +1,113 @@
+package interconnect
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mobilehpc/internal/sim"
+	"mobilehpc/internal/soc"
+)
+
+func TestTorusNeighbourOneHopPath(t *testing.T) {
+	e := sim.NewEngine()
+	n := Torus3D(e, 4, 4, 4, 1.0, 1.0)
+	if n.Nodes() != 64 {
+		t.Fatalf("nodes = %d", n.Nodes())
+	}
+	if got := len(n.Route(0, 1)); got != 1 {
+		t.Errorf("+X neighbour path length = %d, want 1", got)
+	}
+	if got := len(n.Route(0, 4)); got != 1 {
+		t.Errorf("+Y neighbour path length = %d, want 1", got)
+	}
+	if got := len(n.Route(0, 16)); got != 1 {
+		t.Errorf("+Z neighbour path length = %d, want 1", got)
+	}
+}
+
+func TestTorusWrapAround(t *testing.T) {
+	e := sim.NewEngine()
+	n := Torus3D(e, 4, 1, 1, 1.0, 1.0)
+	// 0 -> 3 on a 4-ring: one hop backwards, not three forwards.
+	if got := len(n.Route(0, 3)); got != 1 {
+		t.Errorf("wrap path length = %d, want 1", got)
+	}
+	if got := len(n.Route(0, 2)); got != 2 {
+		t.Errorf("antipode path length = %d, want 2", got)
+	}
+}
+
+func TestTorusDiameter(t *testing.T) {
+	// Max hops in a 4x4x4 torus = 2+2+2 = 6.
+	e := sim.NewEngine()
+	n := Torus3D(e, 4, 4, 4, 1.0, 1.0)
+	maxLen := 0
+	for dst := 1; dst < 64; dst++ {
+		if l := len(n.Route(0, dst)); l > maxLen {
+			maxLen = l
+		}
+	}
+	if maxLen != 6 {
+		t.Errorf("diameter = %d hops, want 6", maxLen)
+	}
+}
+
+// Property: route lengths are symmetric and bounded by the diameter.
+func TestTorusRouteSymmetryProperty(t *testing.T) {
+	e := sim.NewEngine()
+	n := Torus3D(e, 3, 4, 5, 1.0, 1.0)
+	diam := 1 + 2 + 2 // ceil(l/2) per dimension
+	f := func(a16, b16 uint16) bool {
+		a := int(a16) % n.Nodes()
+		b := int(b16) % n.Nodes()
+		la, lb := len(n.Route(a, b)), len(n.Route(b, a))
+		return la == lb && la <= diam
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTorusDeliveryCompletes(t *testing.T) {
+	e := sim.NewEngine()
+	n := Torus3D(e, 4, 4, 4, 1.0, 1.0)
+	var done int
+	for i := 0; i < 16; i++ {
+		i := i
+		e.Go("tx", func(p *sim.Proc) {
+			n.Deliver(p, i, 63-i, 1<<16)
+			done++
+		})
+	}
+	e.RunAll()
+	if done != 16 {
+		t.Errorf("completed deliveries: %d", done)
+	}
+}
+
+func TestInfiniBandOrdersOfMagnitudeBetter(t *testing.T) {
+	// §6.3: IB-class fabrics are what mobile SoCs cannot attach; on a
+	// Sandy Bridge host it is ~2 orders below Ethernet TCP latency.
+	snb := soc.CoreI7()
+	ib := OneWayLatency(Endpoint{Platform: snb, FGHz: 2.4, Proto: InfiniBand()}, 0, 40.0)
+	tcp := OneWayLatency(Endpoint{Platform: snb, FGHz: 2.4, Proto: TCPIP()}, 0, 1.0)
+	if ib*1e6 > 5 {
+		t.Errorf("IB latency = %.2f µs, want single-digit", ib*1e6)
+	}
+	if tcp/ib < 5 {
+		t.Errorf("IB (%.1fµs) should be far below TCP (%.1fµs)", ib*1e6, tcp*1e6)
+	}
+	bw := EffectiveBandwidth(Endpoint{Platform: snb, FGHz: 2.4, Proto: InfiniBand()}, 16<<20, 40.0)
+	if bw < 3000 {
+		t.Errorf("IB bandwidth = %.0f MB/s, want multi-GB/s", bw)
+	}
+}
+
+func TestTorusPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for zero dimension")
+		}
+	}()
+	Torus3D(sim.NewEngine(), 0, 4, 4, 1.0, 1.0)
+}

@@ -1,0 +1,89 @@
+package kernels
+
+import (
+	"math"
+
+	"mobilehpc/internal/fftpkg"
+	"mobilehpc/internal/perf"
+)
+
+// FFT1D is the one-dimensional Fast Fourier Transform kernel (Table 2),
+// stressing peak floating point with variable-stride accesses.
+type FFT1D struct{}
+
+// Tag implements Kernel.
+func (FFT1D) Tag() string { return "fft" }
+
+// FullName implements Kernel.
+func (FFT1D) FullName() string { return "One-dimensional Fast Fourier Transform" }
+
+// Properties implements Kernel.
+func (FFT1D) Properties() string { return "Peak floating-point, variable-stride accesses" }
+
+// Profile implements Kernel: six transforms of 2^22 complex points.
+func (FFT1D) Profile() perf.Profile {
+	return perf.Profile{
+		Kernel:           "fft",
+		Flops:            2.8e9,
+		Bytes:            2.2e9,
+		SIMDFraction:     0.60,
+		Irregularity:     0.30,
+		ParallelFraction: 0.95,
+		Pattern:          perf.Strided,
+		CacheFitBonus:    0.25,
+		SyncPerIter:      22,
+	}
+}
+
+func fftInit(n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(math.Sin(0.3*float64(i)), math.Cos(0.7*float64(i)))
+	}
+	return x
+}
+
+func fftChecksum(x []complex128) float64 {
+	s := 0.0
+	for i, v := range x {
+		s += (real(v) + 0.5*imag(v)) * float64(i%5+1)
+	}
+	return s
+}
+
+// fftBatch is the number of independent transforms per run; the kernel
+// is a batch job in both the serial and parallel versions so that both
+// compute bit-identical results.
+const fftBatch = 8
+
+// Run implements Kernel; the batch transforms fftBatch segments of
+// length n/fftBatch (n rounded down so segments are powers of two).
+func (FFT1D) Run(n int) float64 {
+	seg := prevPow2(n / fftBatch)
+	x := fftInit(seg * fftBatch)
+	for b := 0; b < fftBatch; b++ {
+		fftpkg.Forward(x[b*seg : (b+1)*seg])
+	}
+	return fftChecksum(x)
+}
+
+// RunParallel implements Kernel: the batch of independent transforms is
+// split across workers.
+func (FFT1D) RunParallel(n, procs int) float64 {
+	seg := prevPow2(n / fftBatch)
+	x := fftInit(seg * fftBatch)
+	parallelFor(fftBatch, procs, func(lo, hi, _ int) {
+		for b := lo; b < hi; b++ {
+			fftpkg.Forward(x[b*seg : (b+1)*seg])
+		}
+	})
+	return fftChecksum(x)
+}
+
+func prevPow2(n int) int {
+	p := 1
+	for p*2 <= n {
+		p *= 2
+	}
+	return p
+}

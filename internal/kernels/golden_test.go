@@ -1,0 +1,42 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+)
+
+// Golden checksums pin the kernels' numerical behaviour: any
+// accidental change to an algorithm, seed, or initialisation shows up
+// as a diff here rather than silently shifting benchmark semantics.
+// Values recorded from the initial verified implementation.
+var goldenChecksums = map[string]struct {
+	n   int
+	sum float64
+}{
+	"vecop": {1 << 12, 506111.375},
+	"dmmm":  {48, -129.6950105371771},
+	"3dstc": {12, 7471.812500000002},
+	"2dcon": {64, 7180.640625},
+	"fft":   {1 << 10, 77.78710977402392},
+	"red":   {1 << 12, 2035.3999999999999},
+	"hist":  {1 << 12, 530837},
+	"msort": {1 << 10, 1.5594685500541005e+07},
+	"nbody": {96, 5533.333662097976},
+	"amcd":  {500, 1103.1841945390267},
+	"spvm":  {512, -55.25480000000002},
+}
+
+func TestGoldenChecksums(t *testing.T) {
+	for _, k := range Suite() {
+		g, ok := goldenChecksums[k.Tag()]
+		if !ok {
+			t.Errorf("%s: no golden value recorded", k.Tag())
+			continue
+		}
+		got := k.Run(g.n)
+		if math.Abs(got-g.sum) > 1e-9*math.Max(1, math.Abs(g.sum)) {
+			t.Errorf("%s: checksum %v, golden %v — numerical behaviour changed",
+				k.Tag(), got, g.sum)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Package kernels implements the micro-kernel suite of Table 2 — the
+// eleven benchmarks the paper uses to "stress different architectural
+// features and to cover a wide range of algorithms employed in HPC
+// applications" (§3.1).
+//
+// Every kernel exists twice over:
+//
+//   - as real, runnable Go code (Run / RunParallel) whose numerical
+//     results are verified by tests — the serial and parallel versions
+//     must agree on a checksum; and
+//   - as a perf.Profile describing one iteration of the paper-scale
+//     problem (flops, DRAM traffic, vectorisability, irregularity,
+//     parallel fraction), which internal/perf turns into predicted time
+//     and energy on each modelled platform.
+//
+// The split mirrors the paper's methodology: the code defines *what* is
+// computed; the platform model defines *how fast* a Tegra 2, Tegra 3,
+// Exynos 5250 or Core i7 would have computed it.
+package kernels
+
+import (
+	"fmt"
+	"sync"
+
+	"mobilehpc/internal/perf"
+)
+
+// Kernel is one member of the micro-kernel suite.
+type Kernel interface {
+	// Tag is the short identifier used in Table 2 (e.g. "vecop").
+	Tag() string
+	// FullName is the Table 2 "Full name" column.
+	FullName() string
+	// Properties is the Table 2 "Properties" column.
+	Properties() string
+	// Profile characterises one iteration at the paper-scale problem
+	// size, identically for every platform.
+	Profile() perf.Profile
+	// Run executes the kernel serially on a problem of size n and
+	// returns a checksum of the result for verification.
+	Run(n int) float64
+	// RunParallel executes the same computation split across procs
+	// goroutines and returns the same checksum (up to floating-point
+	// reassociation).
+	RunParallel(n, procs int) float64
+}
+
+// Suite returns the eleven kernels in Table 2 order.
+func Suite() []Kernel {
+	return []Kernel{
+		Vecop{}, Dmmm{}, Stencil3D{}, Conv2D{}, FFT1D{}, Reduction{},
+		Histogram{}, MergeSort{}, NBody{}, AMCD{}, SpVM{},
+	}
+}
+
+// Profiles returns the perf profiles of the whole suite, Table 2 order.
+func Profiles() []perf.Profile {
+	ks := Suite()
+	ps := make([]perf.Profile, len(ks))
+	for i, k := range ks {
+		ps[i] = k.Profile()
+	}
+	return ps
+}
+
+// ByTag returns the kernel with the given tag, or an error.
+func ByTag(tag string) (Kernel, error) {
+	for _, k := range Suite() {
+		if k.Tag() == tag {
+			return k, nil
+		}
+	}
+	return nil, fmt.Errorf("kernels: unknown kernel %q", tag)
+}
+
+// splitRange divides [0, n) into parts near-equal contiguous chunks and
+// returns the boundary indices (len parts+1).
+func splitRange(n, parts int) []int {
+	if parts < 1 {
+		panic("kernels: parts must be >= 1")
+	}
+	b := make([]int, parts+1)
+	for i := 0; i <= parts; i++ {
+		b[i] = i * n / parts
+	}
+	return b
+}
+
+// parallelFor runs body(lo, hi, part) over procs contiguous chunks of
+// [0, n) and waits for completion — the reproduction's stand-in for an
+// OpenMP "parallel for".
+func parallelFor(n, procs int, body func(lo, hi, part int)) {
+	if procs <= 1 {
+		body(0, n, 0)
+		return
+	}
+	b := splitRange(n, procs)
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		if b[p] == b[p+1] {
+			continue
+		}
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			body(b[p], b[p+1], p)
+		}(p)
+	}
+	wg.Wait()
+}

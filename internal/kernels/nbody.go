@@ -1,0 +1,179 @@
+package kernels
+
+import (
+	"math"
+
+	"mobilehpc/internal/perf"
+)
+
+// NBody is the all-pairs N-body kernel (Table 2), exercising irregular
+// memory accesses: one force-evaluation step over n bodies.
+type NBody struct{}
+
+// Tag implements Kernel.
+func (NBody) Tag() string { return "nbody" }
+
+// FullName implements Kernel.
+func (NBody) FullName() string { return "N-body calculation" }
+
+// Properties implements Kernel.
+func (NBody) Properties() string { return "Irregular memory accesses" }
+
+// Profile implements Kernel: one step of 16384 bodies, ~20 flops/pair.
+func (NBody) Profile() perf.Profile {
+	return perf.Profile{
+		Kernel:           "nbody",
+		Flops:            5.4e9,
+		Bytes:            2.1e7,
+		SIMDFraction:     0.50,
+		Irregularity:     0.35,
+		ParallelFraction: 0.995,
+		Pattern:          perf.Irregular,
+		SyncPerIter:      2,
+	}
+}
+
+type bodies struct {
+	x, y, z, m []float64
+}
+
+func nbodyInit(n int) bodies {
+	b := bodies{
+		x: make([]float64, n), y: make([]float64, n),
+		z: make([]float64, n), m: make([]float64, n),
+	}
+	s := uint64(777)
+	next := func() float64 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return float64(s>>11)/float64(uint64(1)<<53) - 0.5
+	}
+	for i := 0; i < n; i++ {
+		b.x[i], b.y[i], b.z[i] = next(), next(), next()
+		b.m[i] = 1 + next()*0.5
+	}
+	return b
+}
+
+// nbodyAccel accumulates softened gravitational accelerations for
+// bodies [lo, hi) against all n bodies.
+func nbodyAccel(b bodies, ax, ay, az []float64, lo, hi int) {
+	const soft = 1e-3
+	n := len(b.x)
+	for i := lo; i < hi; i++ {
+		xi, yi, zi := b.x[i], b.y[i], b.z[i]
+		sx, sy, sz := 0.0, 0.0, 0.0
+		for j := 0; j < n; j++ {
+			dx, dy, dz := b.x[j]-xi, b.y[j]-yi, b.z[j]-zi
+			r2 := dx*dx + dy*dy + dz*dz + soft
+			inv := 1 / (r2 * math.Sqrt(r2))
+			f := b.m[j] * inv
+			sx += dx * f
+			sy += dy * f
+			sz += dz * f
+		}
+		ax[i], ay[i], az[i] = sx, sy, sz
+	}
+}
+
+// Run implements Kernel.
+func (NBody) Run(n int) float64 {
+	b := nbodyInit(n)
+	ax := make([]float64, n)
+	ay := make([]float64, n)
+	az := make([]float64, n)
+	nbodyAccel(b, ax, ay, az, 0, n)
+	return checksum(ax) + checksum(ay) + checksum(az)
+}
+
+// RunParallel implements Kernel: each worker computes accelerations for
+// its slice of bodies against the full set.
+func (NBody) RunParallel(n, procs int) float64 {
+	b := nbodyInit(n)
+	ax := make([]float64, n)
+	ay := make([]float64, n)
+	az := make([]float64, n)
+	parallelFor(n, procs, func(lo, hi, _ int) {
+		nbodyAccel(b, ax, ay, az, lo, hi)
+	})
+	return checksum(ax) + checksum(ay) + checksum(az)
+}
+
+// AMCD is the Markov Chain Monte Carlo kernel (Table 2, "amcd"):
+// embarrassingly parallel independent chains sampling a 1-D Gaussian
+// with a Metropolis walker, stressing peak compute.
+type AMCD struct{}
+
+// Tag implements Kernel.
+func (AMCD) Tag() string { return "amcd" }
+
+// FullName implements Kernel.
+func (AMCD) FullName() string { return "Markov Chain Monte Carlo method" }
+
+// Properties implements Kernel.
+func (AMCD) Properties() string { return "Embarrassingly parallel: peak compute performance" }
+
+// Profile implements Kernel: 64 chains of 5e5 Metropolis steps.
+func (AMCD) Profile() perf.Profile {
+	return perf.Profile{
+		Kernel:           "amcd",
+		Flops:            3.0e9,
+		Bytes:            1.0e7,
+		SIMDFraction:     0.30,
+		Irregularity:     0.40,
+		ParallelFraction: 1.0,
+		Pattern:          perf.Blocked,
+		SyncPerIter:      1,
+	}
+}
+
+// amcdChains is the fixed chain count; both serial and parallel
+// versions run exactly these chains so results are identical.
+const amcdChains = 64
+
+// amcdChain runs one Metropolis chain of `steps` moves and returns the
+// sum of sampled positions (an estimator whose expectation is 0).
+func amcdChain(id, steps int) float64 {
+	s := uint64(id)*2654435761 + 1
+	next := func() float64 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return float64(s>>11) / float64(uint64(1)<<53)
+	}
+	x := next()*2 - 1
+	logp := -x * x / 2
+	sum := 0.0
+	for i := 0; i < steps; i++ {
+		cand := x + (next()-0.5)*1.5
+		lp := -cand * cand / 2
+		if lp >= logp || next() < math.Exp(lp-logp) {
+			x, logp = cand, lp
+		}
+		sum += x
+	}
+	return sum
+}
+
+// Run implements Kernel; n is the number of steps per chain.
+func (AMCD) Run(n int) float64 {
+	s := 0.0
+	for c := 0; c < amcdChains; c++ {
+		s += amcdChain(c, n)
+	}
+	return s
+}
+
+// RunParallel implements Kernel: chains are distributed over workers.
+func (AMCD) RunParallel(n, procs int) float64 {
+	partial := make([]float64, procs)
+	parallelFor(amcdChains, procs, func(lo, hi, part int) {
+		s := 0.0
+		for c := lo; c < hi; c++ {
+			s += amcdChain(c, n)
+		}
+		partial[part] = s
+	})
+	s := 0.0
+	for _, p := range partial {
+		s += p
+	}
+	return s
+}

@@ -1,0 +1,157 @@
+package kernels
+
+import (
+	"mobilehpc/internal/perf"
+)
+
+// Reduction is the scalar-sum reduction kernel (Table 2), exercising
+// varying levels of parallelism: the serial version is a dependence
+// chain, the parallel one is partial sums plus a reduction stage.
+type Reduction struct{}
+
+// Tag implements Kernel.
+func (Reduction) Tag() string { return "red" }
+
+// FullName implements Kernel.
+func (Reduction) FullName() string { return "Reduction operation" }
+
+// Properties implements Kernel.
+func (Reduction) Properties() string { return "Varying levels of parallelism (scalar sum)" }
+
+// Profile implements Kernel: eight sweeps over 2^26 elements.
+func (Reduction) Profile() perf.Profile {
+	return perf.Profile{
+		Kernel:           "red",
+		Flops:            5.4e8,
+		Bytes:            4.3e9,
+		SIMDFraction:     0.70,
+		Irregularity:     0.35,
+		ParallelFraction: 0.97,
+		Pattern:          perf.Streaming,
+		SyncPerIter:      8,
+	}
+}
+
+func reduceInit(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = float64(i%101) * 0.01
+	}
+	return v
+}
+
+// Run implements Kernel.
+func (Reduction) Run(n int) float64 {
+	v := reduceInit(n)
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// RunParallel implements Kernel: per-worker partial sums followed by a
+// serial combine (the classic OpenMP reduction clause shape).
+func (Reduction) RunParallel(n, procs int) float64 {
+	v := reduceInit(n)
+	partial := make([]float64, procs)
+	parallelFor(n, procs, func(lo, hi, part int) {
+		s := 0.0
+		for _, x := range v[lo:hi] {
+			s += x
+		}
+		partial[part] = s
+	})
+	s := 0.0
+	for _, p := range partial {
+		s += p
+	}
+	return s
+}
+
+// Histogram is the histogram kernel (Table 2): binned counting with
+// per-thread privatisation and a merge (reduction) stage.
+type Histogram struct{}
+
+// Tag implements Kernel.
+func (Histogram) Tag() string { return "hist" }
+
+// FullName implements Kernel.
+func (Histogram) FullName() string { return "Histogram calculation" }
+
+// Properties implements Kernel.
+func (Histogram) Properties() string {
+	return "Histogram with local privatisation, requires reduction stage"
+}
+
+// Profile implements Kernel: six passes binning 2^26 values.
+func (Histogram) Profile() perf.Profile {
+	return perf.Profile{
+		Kernel:           "hist",
+		Flops:            8.0e8,
+		Bytes:            3.2e9,
+		SIMDFraction:     0.10,
+		Irregularity:     0.55,
+		ParallelFraction: 0.96,
+		Pattern:          perf.Streaming,
+		SyncPerIter:      6,
+	}
+}
+
+const histBins = 256
+
+func histInit(n int) []float64 {
+	v := make([]float64, n)
+	s := uint64(12345)
+	for i := range v {
+		s = s*6364136223846793005 + 1442695040888963407
+		v[i] = float64(s>>11) / float64(uint64(1)<<53)
+	}
+	return v
+}
+
+func histBin(x float64) int {
+	b := int(x * histBins)
+	if b >= histBins {
+		b = histBins - 1
+	}
+	return b
+}
+
+func histChecksum(bins []int64) float64 {
+	s := 0.0
+	for i, c := range bins {
+		s += float64(c) * float64(i+1)
+	}
+	return s
+}
+
+// Run implements Kernel.
+func (Histogram) Run(n int) float64 {
+	v := histInit(n)
+	var bins [histBins]int64
+	for _, x := range v {
+		bins[histBin(x)]++
+	}
+	return histChecksum(bins[:])
+}
+
+// RunParallel implements Kernel with privatised per-worker histograms
+// merged at the end.
+func (Histogram) RunParallel(n, procs int) float64 {
+	v := histInit(n)
+	local := make([][histBins]int64, procs)
+	parallelFor(n, procs, func(lo, hi, part int) {
+		b := &local[part]
+		for _, x := range v[lo:hi] {
+			b[histBin(x)]++
+		}
+	})
+	var bins [histBins]int64
+	for p := range local {
+		for i := range bins {
+			bins[i] += local[p][i]
+		}
+	}
+	return histChecksum(bins[:])
+}

@@ -1,0 +1,117 @@
+package kernels
+
+import "mobilehpc/internal/perf"
+
+// MergeSort is the generic merge-sort kernel (Table 2), exercising
+// barrier operations: the parallel version sorts chunks independently
+// and then merges pairwise with a barrier between passes.
+type MergeSort struct{}
+
+// Tag implements Kernel.
+func (MergeSort) Tag() string { return "msort" }
+
+// FullName implements Kernel.
+func (MergeSort) FullName() string { return "Generic merge sort" }
+
+// Properties implements Kernel.
+func (MergeSort) Properties() string { return "Barrier operations" }
+
+// Profile implements Kernel: two sorts of 2^23 keys (23 passes each).
+func (MergeSort) Profile() perf.Profile {
+	return perf.Profile{
+		Kernel:           "msort",
+		Flops:            3.9e8,
+		Bytes:            3.1e9,
+		SIMDFraction:     0.0,
+		Irregularity:     0.60,
+		ParallelFraction: 0.90,
+		Pattern:          perf.Streaming,
+		CacheFitBonus:    0.50,
+		SyncPerIter:      46,
+	}
+}
+
+func msortInit(n int) []float64 {
+	v := make([]float64, n)
+	s := uint64(999)
+	for i := range v {
+		s = s*6364136223846793005 + 1442695040888963407
+		v[i] = float64(s >> 32)
+	}
+	return v
+}
+
+// mergeSort sorts v using buf as scratch (both length n).
+func mergeSort(v, buf []float64) {
+	n := len(v)
+	for width := 1; width < n; width *= 2 {
+		for lo := 0; lo < n; lo += 2 * width {
+			mid := min(lo+width, n)
+			hi := min(lo+2*width, n)
+			merge(v[lo:mid], v[mid:hi], buf[lo:hi])
+		}
+		copy(v, buf[:n])
+	}
+}
+
+func merge(a, b, out []float64) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out[k] = a[i]
+			i++
+		} else {
+			out[k] = b[j]
+			j++
+		}
+		k++
+	}
+	k += copy(out[k:], a[i:])
+	copy(out[k:], b[j:])
+}
+
+func msortChecksum(v []float64) float64 {
+	// Positional checksum: identical only if the full ordering matches.
+	s := 0.0
+	for i, x := range v {
+		s += x * float64(i%13+1) * 1e-6
+	}
+	return s
+}
+
+// Run implements Kernel.
+func (MergeSort) Run(n int) float64 {
+	v := msortInit(n)
+	buf := make([]float64, n)
+	mergeSort(v, buf)
+	return msortChecksum(v)
+}
+
+// RunParallel implements Kernel: chunks are sorted concurrently, then
+// merged in log2(procs) barrier-separated passes.
+func (MergeSort) RunParallel(n, procs int) float64 {
+	v := msortInit(n)
+	buf := make([]float64, n)
+	bounds := splitRange(n, procs)
+	parallelFor(procs, procs, func(lo, hi, _ int) {
+		for c := lo; c < hi; c++ {
+			mergeSort(v[bounds[c]:bounds[c+1]], buf[bounds[c]:bounds[c+1]])
+		}
+	})
+	// Pairwise merge passes; parallelFor's completion acts as the barrier.
+	for stride := 1; stride < procs; stride *= 2 {
+		pairs := make([][3]int, 0, procs/stride)
+		for c := 0; c+stride < procs; c += 2 * stride {
+			last := min(c+2*stride, procs)
+			pairs = append(pairs, [3]int{bounds[c], bounds[c+stride], bounds[last]})
+		}
+		parallelFor(len(pairs), len(pairs), func(lo, hi, _ int) {
+			for p := lo; p < hi; p++ {
+				a, m, b := pairs[p][0], pairs[p][1], pairs[p][2]
+				merge(v[a:m], v[m:b], buf[a:b])
+				copy(v[a:b], buf[a:b])
+			}
+		})
+	}
+	return msortChecksum(v)
+}

@@ -1,0 +1,99 @@
+package kernels
+
+import "mobilehpc/internal/perf"
+
+// SpVM is the sparse matrix-vector multiplication kernel (Table 2),
+// exercising load imbalance: rows have wildly varying numbers of
+// nonzeros, so a static row split gives workers unequal work.
+type SpVM struct{}
+
+// Tag implements Kernel.
+func (SpVM) Tag() string { return "spvm" }
+
+// FullName implements Kernel.
+func (SpVM) FullName() string { return "Sparce Vector-Matrix Multiplication" }
+
+// Properties implements Kernel.
+func (SpVM) Properties() string { return "Load imbalance" }
+
+// Profile implements Kernel: eight multiplies of a ~30M-nnz matrix.
+func (SpVM) Profile() perf.Profile {
+	return perf.Profile{
+		Kernel:           "spvm",
+		Flops:            4.8e8,
+		Bytes:            2.0e9,
+		SIMDFraction:     0.40,
+		Irregularity:     0.50,
+		ParallelFraction: 0.92,
+		Pattern:          perf.Irregular,
+		CacheFitBonus:    0.10,
+		SyncPerIter:      8,
+	}
+}
+
+// csr is a compressed sparse row matrix.
+type csr struct {
+	rowPtr []int
+	colIdx []int
+	vals   []float64
+	n      int
+}
+
+// spvmInit builds an n x n sparse matrix with a skewed nonzero
+// distribution (a few very dense rows) plus a dense-ish input vector.
+func spvmInit(n int) (csr, []float64) {
+	m := csr{n: n, rowPtr: make([]int, n+1)}
+	s := uint64(31337)
+	next := func() uint64 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return s
+	}
+	for i := 0; i < n; i++ {
+		nnz := int(next()%8) + 2
+		if i%64 == 0 { // heavy rows: the load imbalance of Table 2
+			nnz = 64 + int(next()%64)
+		}
+		if nnz > n {
+			nnz = n
+		}
+		for k := 0; k < nnz; k++ {
+			m.colIdx = append(m.colIdx, int(next()%uint64(n)))
+			m.vals = append(m.vals, float64(next()%1000)/1000-0.5)
+		}
+		m.rowPtr[i+1] = len(m.vals)
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i%17) * 0.1
+	}
+	return m, x
+}
+
+func spvmRows(m csr, x, y []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		s := 0.0
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			s += m.vals[k] * x[m.colIdx[k]]
+		}
+		y[i] = s
+	}
+}
+
+// Run implements Kernel; n is the matrix dimension.
+func (SpVM) Run(n int) float64 {
+	m, x := spvmInit(n)
+	y := make([]float64, n)
+	spvmRows(m, x, y, 0, n)
+	return checksum(y)
+}
+
+// RunParallel implements Kernel with a static row split (deliberately
+// imbalance-prone, as in the original suite).
+func (SpVM) RunParallel(n, procs int) float64 {
+	m, x := spvmInit(n)
+	y := make([]float64, n)
+	parallelFor(n, procs, func(lo, hi, _ int) {
+		spvmRows(m, x, y, lo, hi)
+	})
+	return checksum(y)
+}

@@ -1,0 +1,160 @@
+package kernels
+
+import "mobilehpc/internal/perf"
+
+// Stencil3D is the 3-D volume stencil kernel (Table 2): a 7-point
+// stencil sweep over an n^3 grid, stressing strided memory accesses.
+type Stencil3D struct{}
+
+// Tag implements Kernel.
+func (Stencil3D) Tag() string { return "3dstc" }
+
+// FullName implements Kernel.
+func (Stencil3D) FullName() string { return "3D volume stencil computation" }
+
+// Properties implements Kernel.
+func (Stencil3D) Properties() string { return "Strided memory accesses (7-point 3D stencil)" }
+
+// Profile implements Kernel: ten sweeps of a 256^3 grid, 8 flops/cell.
+func (Stencil3D) Profile() perf.Profile {
+	return perf.Profile{
+		Kernel:           "3dstc",
+		Flops:            1.34e9,
+		Bytes:            2.7e9,
+		SIMDFraction:     0.85,
+		Irregularity:     0.10,
+		ParallelFraction: 0.98,
+		Pattern:          perf.Strided,
+		CacheFitBonus:    0.15,
+		SyncPerIter:      10,
+	}
+}
+
+func stencilInit(n int) []float64 {
+	g := make([]float64, n*n*n)
+	for i := range g {
+		g[i] = float64(i%31) * 0.125
+	}
+	return g
+}
+
+// stencilPlane applies the 7-point stencil to interior planes [zlo, zhi).
+func stencilPlane(src, dst []float64, n, zlo, zhi int) {
+	const c0, c1 = 0.5, 1.0 / 12.0
+	n2 := n * n
+	for z := zlo; z < zhi; z++ {
+		if z == 0 || z == n-1 {
+			continue
+		}
+		for y := 1; y < n-1; y++ {
+			base := z*n2 + y*n
+			for x := 1; x < n-1; x++ {
+				i := base + x
+				dst[i] = c0*src[i] + c1*(src[i-1]+src[i+1]+
+					src[i-n]+src[i+n]+src[i-n2]+src[i+n2])
+			}
+		}
+	}
+}
+
+// Run implements Kernel; n is the grid edge length.
+func (Stencil3D) Run(n int) float64 {
+	src := stencilInit(n)
+	dst := make([]float64, len(src))
+	stencilPlane(src, dst, n, 0, n)
+	return checksum(dst)
+}
+
+// RunParallel implements Kernel: planes are split across workers
+// (writes never overlap — each worker owns whole z-planes).
+func (Stencil3D) RunParallel(n, procs int) float64 {
+	src := stencilInit(n)
+	dst := make([]float64, len(src))
+	parallelFor(n, procs, func(zlo, zhi, _ int) {
+		stencilPlane(src, dst, n, zlo, zhi)
+	})
+	return checksum(dst)
+}
+
+// Conv2D is the 2-D convolution kernel (Table 2): a 5x5 filter over an
+// n x n image, exercising spatial locality.
+type Conv2D struct{}
+
+// Tag implements Kernel.
+func (Conv2D) Tag() string { return "2dcon" }
+
+// FullName implements Kernel.
+func (Conv2D) FullName() string { return "2D convolution" }
+
+// Properties implements Kernel.
+func (Conv2D) Properties() string { return "Spatial locality" }
+
+// Profile implements Kernel: six passes of a 5x5 convolution over a
+// 4096^2 image, ~50 flops/pixel.
+func (Conv2D) Profile() perf.Profile {
+	return perf.Profile{
+		Kernel:           "2dcon",
+		Flops:            5.0e9,
+		Bytes:            1.6e9,
+		SIMDFraction:     0.90,
+		Irregularity:     0.05,
+		ParallelFraction: 0.99,
+		Pattern:          perf.Blocked,
+		CacheFitBonus:    0.40,
+		SyncPerIter:      6,
+	}
+}
+
+// conv2dFilter is a normalised 5x5 blur-like filter.
+var conv2dFilter = [5][5]float64{
+	{1, 4, 6, 4, 1},
+	{4, 16, 24, 16, 4},
+	{6, 24, 36, 24, 6},
+	{4, 16, 24, 16, 4},
+	{1, 4, 6, 4, 1},
+}
+
+func conv2dInit(n int) []float64 {
+	img := make([]float64, n*n)
+	for i := range img {
+		img[i] = float64((i*7)%256) / 256
+	}
+	return img
+}
+
+func conv2dRows(src, dst []float64, n, rlo, rhi int) {
+	const norm = 1.0 / 256.0
+	for y := rlo; y < rhi; y++ {
+		if y < 2 || y >= n-2 {
+			continue
+		}
+		for x := 2; x < n-2; x++ {
+			s := 0.0
+			for ky := -2; ky <= 2; ky++ {
+				row := (y + ky) * n
+				for kx := -2; kx <= 2; kx++ {
+					s += conv2dFilter[ky+2][kx+2] * src[row+x+kx]
+				}
+			}
+			dst[y*n+x] = s * norm
+		}
+	}
+}
+
+// Run implements Kernel; n is the image edge length.
+func (Conv2D) Run(n int) float64 {
+	src := conv2dInit(n)
+	dst := make([]float64, len(src))
+	conv2dRows(src, dst, n, 0, n)
+	return checksum(dst)
+}
+
+// RunParallel implements Kernel.
+func (Conv2D) RunParallel(n, procs int) float64 {
+	src := conv2dInit(n)
+	dst := make([]float64, len(src))
+	parallelFor(n, procs, func(rlo, rhi, _ int) {
+		conv2dRows(src, dst, n, rlo, rhi)
+	})
+	return checksum(dst)
+}

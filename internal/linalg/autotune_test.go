@@ -1,0 +1,69 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGemmBlockedMatchesNaiveAllCandidates(t *testing.T) {
+	n := 70
+	a, b := NewMatrix(n, n), NewMatrix(n, n)
+	a.FillRandom(5)
+	b.FillRandom(6)
+	want := NewMatrix(n, n)
+	GemmNaive(a, b, want)
+	for _, blk := range []int{16, 32, 48, 64, 96, 128} {
+		c := NewMatrix(n, n)
+		gemmBlocked(a, b, c, blk)
+		for i := range c.Data {
+			if math.Abs(c.Data[i]-want.Data[i]) > 1e-9 {
+				t.Fatalf("blk=%d: mismatch at %d", blk, i)
+			}
+		}
+	}
+}
+
+func TestTuneGemmPicksACandidate(t *testing.T) {
+	res := TuneGemm(96, 1)
+	found := false
+	for i, c := range res.Candidates {
+		if c == res.BlockSize {
+			found = true
+		}
+		if res.GFLOPS[i] <= 0 {
+			t.Errorf("candidate %d measured %v GFLOPS", c, res.GFLOPS[i])
+		}
+	}
+	if !found {
+		t.Errorf("chosen block %d not among candidates", res.BlockSize)
+	}
+	// The winner must hold the best measured rate.
+	best := 0.0
+	for _, g := range res.GFLOPS {
+		if g > best {
+			best = g
+		}
+	}
+	for i, c := range res.Candidates {
+		if c == res.BlockSize && res.GFLOPS[i] != best {
+			t.Error("chosen block does not hold the best rate")
+		}
+	}
+}
+
+func TestTunePanics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { TuneGemm(8, 1) },
+		func() { TuneGemm(64, 0) },
+		func() { gemmBlocked(NewMatrix(4, 4), NewMatrix(4, 4), NewMatrix(4, 4), 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,254 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGemmSmall(t *testing.T) {
+	a := NewMatrix(2, 3)
+	copy(a.Data, []float64{1, 2, 3, 4, 5, 6})
+	b := NewMatrix(3, 2)
+	copy(b.Data, []float64{7, 8, 9, 10, 11, 12})
+	c := NewMatrix(2, 2)
+	Gemm(a, b, c)
+	want := []float64{58, 64, 139, 154}
+	for i, w := range want {
+		if math.Abs(c.Data[i]-w) > 1e-12 {
+			t.Fatalf("c = %v, want %v", c.Data, want)
+		}
+	}
+}
+
+func TestGemmMatchesNaive(t *testing.T) {
+	for _, n := range []int{1, 7, 64, 65, 130} {
+		a, b := NewMatrix(n, n), NewMatrix(n, n)
+		a.FillRandom(uint64(n))
+		b.FillRandom(uint64(n) + 1)
+		c1, c2 := NewMatrix(n, n), NewMatrix(n, n)
+		Gemm(a, b, c1)
+		GemmNaive(a, b, c2)
+		for i := range c1.Data {
+			if math.Abs(c1.Data[i]-c2.Data[i]) > 1e-9 {
+				t.Fatalf("n=%d: blocked and naive gemm disagree at %d: %v vs %v",
+					n, i, c1.Data[i], c2.Data[i])
+			}
+		}
+	}
+}
+
+func TestGemmAccumulates(t *testing.T) {
+	a, b := NewMatrix(4, 4), NewMatrix(4, 4)
+	a.FillRandom(1)
+	b.FillRandom(2)
+	c := NewMatrix(4, 4)
+	for i := range c.Data {
+		c.Data[i] = 1
+	}
+	Gemm(a, b, c)
+	c2 := NewMatrix(4, 4)
+	Gemm(a, b, c2)
+	for i := range c.Data {
+		if math.Abs(c.Data[i]-(c2.Data[i]+1)) > 1e-12 {
+			t.Fatal("Gemm must accumulate into C")
+		}
+	}
+}
+
+func TestGemmShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on shape mismatch")
+		}
+	}()
+	Gemm(NewMatrix(2, 3), NewMatrix(2, 3), NewMatrix(2, 3))
+}
+
+func TestLUSolveKnownSystem(t *testing.T) {
+	a := NewMatrix(3, 3)
+	copy(a.Data, []float64{2, 1, 1, 1, 3, 2, 1, 0, 0})
+	b := []float64{4, 5, 6}
+	x, err := SolveDense(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Solution: x = 6, y = 15, z = -23 (from row3: x=6; then solve).
+	want := []float64{6, 15, -23}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-9 {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestLUResidualRandom(t *testing.T) {
+	for _, n := range []int{1, 2, 16, 100} {
+		a := NewMatrix(n, n)
+		a.FillRandom(uint64(42 + n))
+		// Diagonal boost keeps the random matrix comfortably nonsingular.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		b := make([]float64, n)
+		r := NewLCG(7)
+		for i := range b {
+			b[i] = r.Float64()
+		}
+		x, err := SolveDense(a, b)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if res := ResidualNorm(a, x, b); res > 16 {
+			t.Errorf("n=%d: scaled residual %v too large", n, res)
+		}
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := NewMatrix(2, 2) // all zeros
+	if _, err := LUFactor(a); err == nil {
+		t.Error("no error for singular matrix")
+	}
+}
+
+func TestLUPivoting(t *testing.T) {
+	// Zero leading pivot forces a row swap.
+	a := NewMatrix(2, 2)
+	copy(a.Data, []float64{0, 1, 1, 0})
+	x, err := SolveDense(a, []float64{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-5) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("x = %v, want [5 3]", x)
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	a := NewMatrix(2, 3)
+	copy(a.Data, []float64{1, 0, 2, 0, 1, 3})
+	y := MatVec(a, []float64{1, 2, 3})
+	if y[0] != 7 || y[1] != 11 {
+		t.Errorf("y = %v", y)
+	}
+}
+
+func TestDotAxpyNorm(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 5, 6}
+	if Dot(x, y) != 32 {
+		t.Errorf("Dot = %v", Dot(x, y))
+	}
+	Axpy(2, x, y)
+	if y[0] != 6 || y[1] != 9 || y[2] != 12 {
+		t.Errorf("Axpy: y = %v", y)
+	}
+	if VecInfNorm([]float64{-7, 3}) != 7 {
+		t.Error("VecInfNorm broken")
+	}
+}
+
+func TestHPLFlops(t *testing.T) {
+	if got := HPLFlops(3); math.Abs(got-(18+18)) > 1e-12 {
+		t.Errorf("HPLFlops(3) = %v, want 36", got)
+	}
+}
+
+func TestLCGDeterministicAndBounded(t *testing.T) {
+	a, b := NewLCG(9), NewLCG(9)
+	for i := 0; i < 100; i++ {
+		va, vb := a.Float64(), b.Float64()
+		if va != vb {
+			t.Fatal("LCG not deterministic")
+		}
+		if va < 0 || va >= 1 {
+			t.Fatalf("Float64 out of range: %v", va)
+		}
+	}
+	if NewLCG(0).Uint64() == 0 {
+		t.Error("zero seed should be remapped")
+	}
+	c := NewLCG(3)
+	for i := 0; i < 100; i++ {
+		if v := c.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
+
+func TestLCGNormRoughMoments(t *testing.T) {
+	r := NewLCG(123)
+	n := 20000
+	sum, sum2 := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / float64(n)
+	variance := sum2/float64(n) - mean*mean
+	if math.Abs(mean) > 0.05 || math.Abs(variance-1) > 0.1 {
+		t.Errorf("NormFloat64 moments off: mean=%v var=%v", mean, variance)
+	}
+}
+
+// Property: solving a system built from a known x recovers x.
+func TestSolveRoundTripProperty(t *testing.T) {
+	f := func(seed uint32, n8 uint8) bool {
+		n := int(n8)%20 + 1
+		a := NewMatrix(n, n)
+		a.FillRandom(uint64(seed))
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)+1)
+		}
+		want := make([]float64, n)
+		r := NewLCG(uint64(seed) + 1)
+		for i := range want {
+			want[i] = r.Float64()*2 - 1
+		}
+		b := MatVec(a, want)
+		got, err := SolveDense(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Gemm is linear in its left argument: (A1+A2)B = A1B + A2B.
+func TestGemmLinearityProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		n := 9
+		a1, a2, b := NewMatrix(n, n), NewMatrix(n, n), NewMatrix(n, n)
+		a1.FillRandom(uint64(seed))
+		a2.FillRandom(uint64(seed) + 7)
+		b.FillRandom(uint64(seed) + 13)
+		sum := NewMatrix(n, n)
+		for i := range sum.Data {
+			sum.Data[i] = a1.Data[i] + a2.Data[i]
+		}
+		c1 := NewMatrix(n, n)
+		Gemm(a1, b, c1)
+		Gemm(a2, b, c1)
+		c2 := NewMatrix(n, n)
+		Gemm(sum, b, c2)
+		for i := range c1.Data {
+			if math.Abs(c1.Data[i]-c2.Data[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

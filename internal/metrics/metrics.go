@@ -1,0 +1,98 @@
+// Package metrics computes the derived quantities the paper reports:
+// network bytes-per-FLOPS balance (Table 4), speedup and parallel
+// efficiency (Figure 6), the Green500 MFLOPS/W metric, and the §4.1
+// first-order estimate of how interconnect latency inflates execution
+// time (after Saravanan et al. [36]).
+package metrics
+
+import (
+	"fmt"
+
+	"mobilehpc/internal/soc"
+)
+
+// NetworkClass is an interconnect option from Table 4.
+type NetworkClass struct {
+	Name string
+	Gbps float64
+}
+
+// The three interconnects of Table 4.
+var (
+	GbE1       = NetworkClass{"1GbE", 1}
+	GbE10      = NetworkClass{"10GbE", 10}
+	InfiniBand = NetworkClass{"40Gb InfiniBand", 40}
+)
+
+// Table4Networks lists them in column order.
+var Table4Networks = []NetworkClass{GbE1, GbE10, InfiniBand}
+
+// BytesPerFlops returns network bytes per second divided by peak FP64
+// flops per second for a platform (all CPU cores, GPU excluded — the
+// Table 4 accounting).
+func BytesPerFlops(p *soc.Platform, net NetworkClass) float64 {
+	bytesPerSec := net.Gbps * 1e9 / 8
+	flops := p.PeakGFLOPSMax() * 1e9
+	return bytesPerSec / flops
+}
+
+// Speedup converts a timing series into speedups relative to its first
+// entry, scaled by the node count of the first entry — the Figure 6
+// convention (e.g. PEPC's smallest run is 24 nodes, plotted as
+// speed-up 24).
+func Speedup(nodes []int, elapsed []float64) []float64 {
+	if len(nodes) != len(elapsed) || len(nodes) == 0 {
+		panic("metrics: mismatched speedup series")
+	}
+	out := make([]float64, len(nodes))
+	base := elapsed[0] * float64(nodes[0])
+	for i := range nodes {
+		if elapsed[i] <= 0 {
+			panic(fmt.Sprintf("metrics: non-positive elapsed at %d", i))
+		}
+		out[i] = base / elapsed[i]
+	}
+	return out
+}
+
+// Efficiency is speedup divided by node count.
+func Efficiency(nodes []int, speedup []float64) []float64 {
+	out := make([]float64, len(nodes))
+	for i := range nodes {
+		out[i] = speedup[i] / float64(nodes[i])
+	}
+	return out
+}
+
+// MFLOPSPerWatt is the Green500 metric.
+func MFLOPSPerWatt(gflops, watts float64) float64 {
+	if watts <= 0 {
+		panic("metrics: non-positive power")
+	}
+	return gflops * 1e3 / watts
+}
+
+// LatencyPenaltyPct estimates the execution-time inflation (percent)
+// caused by a total per-message communication latency, following the
+// paper's §4.1 reading of [36]: for an Intel Sandy Bridge-class CPU a
+// 100 µs latency costs +90 % execution time and 65 µs costs +60 %
+// (geometric mean over nine MPI applications at 64-256 nodes); a CPU
+// that is `relPerf` times slower wastes proportionally fewer cycles
+// per microsecond of waiting.
+func LatencyPenaltyPct(latencyUS, relPerf float64) float64 {
+	if latencyUS < 0 || relPerf <= 0 {
+		panic("metrics: invalid latency penalty inputs")
+	}
+	const snbPctPerUS = 0.9 // 90 % per 100 µs
+	return snbPctPerUS * latencyUS * relPerf
+}
+
+// Table4Row returns the bytes/FLOPS figures for one platform across
+// the three Table 4 networks.
+func Table4Row(p *soc.Platform) [3]float64 {
+	var row [3]float64
+	for i, n := range Table4Networks {
+		row[i] = BytesPerFlops(p, n)
+	}
+	return row
+}

@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"mobilehpc/internal/soc"
+)
+
+func TestTable4Values(t *testing.T) {
+	// Table 4 (FP64 bytes/FLOPS, excluding GPU).
+	cases := []struct {
+		p    *soc.Platform
+		want [3]float64
+	}{
+		{soc.Tegra2(), [3]float64{0.06, 0.63, 2.50}},
+		{soc.Tegra3(), [3]float64{0.02, 0.24, 0.96}},
+		{soc.Exynos5250(), [3]float64{0.02, 0.18, 0.74}},
+		{soc.CoreI7(), [3]float64{0.00, 0.02, 0.07}},
+	}
+	for _, c := range cases {
+		row := Table4Row(c.p)
+		for i := range row {
+			if math.Abs(row[i]-c.want[i]) > 0.006 {
+				t.Errorf("%s %s: %.3f, want %.2f",
+					c.p.Name, Table4Networks[i].Name, row[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestTegra3MatchesDualSandyBridgeBalance(t *testing.T) {
+	// §4.1: "A 1GbE network interface for a Tegra 3 or Exynos 5250 has
+	// a bytes/FLOPS ratio close to that of a dual-socket Intel Sandy
+	// Bridge" (with 40Gb InfiniBand). Dual-socket E5-2670: 2x166.4
+	// GFLOPS with 40 Gb/s -> 0.015; Tegra 3 with 1GbE -> 0.024.
+	t3 := BytesPerFlops(soc.Tegra3(), GbE1)
+	dualSNB := (40e9 / 8) / (2 * 166.4e9)
+	if t3/dualSNB > 3 || dualSNB/t3 > 3 {
+		t.Errorf("balance mismatch: Tegra3+1GbE %.3f vs dual-SNB+IB %.3f", t3, dualSNB)
+	}
+}
+
+func TestSpeedupConvention(t *testing.T) {
+	// Series starting at 24 nodes is plotted as speedup 24 at its base
+	// (the paper's PEPC convention).
+	nodes := []int{24, 48, 96}
+	elapsed := []float64{10, 6, 4}
+	s := Speedup(nodes, elapsed)
+	if s[0] != 24 {
+		t.Errorf("base speedup = %v, want 24", s[0])
+	}
+	if math.Abs(s[1]-40) > 1e-9 || math.Abs(s[2]-60) > 1e-9 {
+		t.Errorf("speedups = %v", s)
+	}
+	eff := Efficiency(nodes, s)
+	if eff[0] != 1.0 || math.Abs(eff[2]-0.625) > 1e-9 {
+		t.Errorf("efficiencies = %v", eff)
+	}
+}
+
+func TestSpeedupPanics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { Speedup([]int{1}, []float64{1, 2}) },
+		func() { Speedup([]int{1}, []float64{0}) },
+		func() { Speedup(nil, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMFLOPSPerWatt(t *testing.T) {
+	if got := MFLOPSPerWatt(97, 808.3); math.Abs(got-120) > 0.1 {
+		t.Errorf("Green500 metric = %v, want ~120", got)
+	}
+}
+
+func TestLatencyPenaltyPaperNumbers(t *testing.T) {
+	// §4.1: SNB-class, 100 µs -> +90 %; 65 µs -> +60 %.
+	if got := LatencyPenaltyPct(100, 1.0); math.Abs(got-90) > 1 {
+		t.Errorf("SNB 100µs penalty = %v%%, want 90", got)
+	}
+	if got := LatencyPenaltyPct(65, 1.0); math.Abs(got-60) > 2 {
+		t.Errorf("SNB 65µs penalty = %v%%, want ~60", got)
+	}
+	// Arndale-class (~2x slower single core, §3.1.1): ~50 % and ~40 %.
+	if got := LatencyPenaltyPct(100, 0.5); math.Abs(got-50) > 7 {
+		t.Errorf("Arndale 100µs penalty = %v%%, want ~50", got)
+	}
+	if got := LatencyPenaltyPct(65, 0.5); math.Abs(got-40) > 12 {
+		t.Errorf("Arndale 65µs penalty = %v%%, want ~40", got)
+	}
+}
+
+func TestLatencyPenaltyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for invalid inputs")
+		}
+	}()
+	LatencyPenaltyPct(-1, 1)
+}

@@ -1,0 +1,294 @@
+// Package mpi is a message-passing runtime in the style of MPI,
+// executing rank programs as simulation processes over a modelled
+// cluster (internal/cluster) and charging every byte to the simulated
+// interconnect: protocol CPU overheads block the sending/receiving
+// rank, wire time occupies the shared links, and rendezvous handshakes
+// appear above the protocol threshold — the communication behaviour
+// the paper measures in §4.1 and that shapes the §4 scalability runs.
+//
+// Rank programs are ordinary Go functions. They carry real data in
+// message payloads (the applications in internal/apps compute real
+// numerics), while time is fully virtual: computation is charged via
+// Rank.Compute and communication via the network model, so a 96-node
+// HPL run simulates in milliseconds of host time.
+package mpi
+
+import (
+	"fmt"
+
+	"mobilehpc/internal/cluster"
+	"mobilehpc/internal/perf"
+	"mobilehpc/internal/sim"
+	"mobilehpc/internal/trace"
+)
+
+// Wildcards for Recv matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Msg is an in-flight message.
+type Msg struct {
+	Src, Tag int
+	Bytes    int
+	Data     any
+}
+
+type recvWait struct {
+	src, tag int
+	q        *sim.Queue
+}
+
+// Rank is one MPI process. All methods that advance time must be
+// called from within the rank's own program.
+type Rank struct {
+	id      int
+	comm    *Comm
+	proc    *sim.Proc
+	pending []*Msg
+	waiting []*recvWait
+	collSeq int  // per-rank collective invocation counter (see collTag)
+	inColl  bool // suppress per-message tracing inside collectives
+}
+
+// Comm is the communicator tying ranks to cluster nodes (one rank per
+// node, as on Tibidabo).
+type Comm struct {
+	Cl    *cluster.Cluster
+	ranks []*Rank
+	// Stats accumulated across the run.
+	BytesSent int64
+	Msgs      int64
+	// pairBytes[src*Size+dst] accumulates point-to-point traffic for
+	// the communication matrix (collective-internal traffic included:
+	// it travels the same wires).
+	pairBytes []int64
+
+	hostSyncQ []*sim.Queue
+	hostSyncN int
+	tracer    *trace.Trace
+}
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// ID returns the rank index.
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the communicator size.
+func (r *Rank) Size() int { return r.comm.Size() }
+
+// Now returns current virtual time.
+func (r *Rank) Now() float64 { return r.proc.Now() }
+
+// Node returns the cluster node this rank runs on.
+func (r *Rank) Node() *cluster.Node { return r.comm.Cl.Nodes[r.id] }
+
+// Run executes prog as n ranks over cl (n <= cluster size) and returns
+// the virtual time at which the last rank finished. It panics if any
+// rank deadlocks (the simulation drains with live processes).
+func Run(cl *cluster.Cluster, n int, prog func(r *Rank)) float64 {
+	c, end := RunStats(cl, n, prog)
+	_ = c
+	return end
+}
+
+// RunTraced is Run with a Paraver-style trace of every rank's states
+// (see internal/trace); the per-message and per-compute intervals of
+// the run are recorded for post-mortem analysis, the §4 workflow that
+// uncovered Tibidabo's interconnect timeouts.
+func RunTraced(cl *cluster.Cluster, n int, prog func(r *Rank)) (*trace.Trace, float64) {
+	tr := trace.New(n)
+	comm, end := runCommon(cl, n, prog, tr)
+	_ = comm
+	return tr, end
+}
+
+// RunStats is Run but also returns the communicator for statistics.
+func RunStats(cl *cluster.Cluster, n int, prog func(r *Rank)) (*Comm, float64) {
+	return runCommon(cl, n, prog, nil)
+}
+
+func runCommon(cl *cluster.Cluster, n int, prog func(r *Rank), tr *trace.Trace) (*Comm, float64) {
+	if n <= 0 || n > cl.Size() {
+		panic(fmt.Sprintf("mpi: %d ranks on %d-node cluster", n, cl.Size()))
+	}
+	comm := &Comm{Cl: cl, ranks: make([]*Rank, n), tracer: tr,
+		pairBytes: make([]int64, n*n)}
+	for i := 0; i < n; i++ {
+		r := &Rank{id: i, comm: comm}
+		comm.ranks[i] = r
+		r.proc = cl.Eng.Go(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
+			prog(r)
+		})
+	}
+	end := cl.Eng.RunAll()
+	if cl.Eng.LiveProcs() != 0 {
+		panic(fmt.Sprintf("mpi: deadlock — %d ranks still blocked at t=%v",
+			cl.Eng.LiveProcs(), end))
+	}
+	return comm, end
+}
+
+// record emits a trace interval from t0 to now if tracing is on and
+// the rank is not inside a collective (which records itself as one
+// interval).
+func (r *Rank) record(s trace.State, t0 float64) {
+	if tr := r.comm.tracer; tr != nil && !r.inColl {
+		tr.Record(r.id, s, t0, r.proc.Now())
+	}
+}
+
+// Compute blocks the rank for d seconds of virtual time (modelled
+// computation).
+func (r *Rank) Compute(d float64) {
+	if d < 0 {
+		panic("mpi: negative compute time")
+	}
+	if d > 0 {
+		t0 := r.proc.Now()
+		r.proc.Wait(d)
+		r.record(trace.Compute, t0)
+	}
+}
+
+// ComputeWork charges the node's modelled execution time for work
+// shaped like pr using `threads` cores of the node.
+func (r *Rank) ComputeWork(pr perf.Profile, threads int) float64 {
+	d := r.Node().ComputeTime(pr, threads)
+	t0 := r.proc.Now()
+	r.proc.Wait(d)
+	r.record(trace.Compute, t0)
+	return d
+}
+
+// Send transmits bytes (with optional payload data) to rank dst with a
+// tag. It blocks for the sender-side protocol cost and the wire time,
+// matching a blocking MPI_Send over a slow fabric. A rendezvous
+// handshake is charged above the protocol threshold.
+func (r *Rank) Send(dst, tag int, data any, bytes int) {
+	if dst == r.id {
+		panic("mpi: send to self (use local data)")
+	}
+	if dst < 0 || dst >= r.Size() {
+		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
+	}
+	if bytes < 0 {
+		panic("mpi: negative message size")
+	}
+	ep := r.Node().Endpoint(r.comm.Cl.Proto)
+	t0 := r.proc.Now()
+	r.proc.Wait(ep.SendCost(bytes))
+	if th := r.comm.Cl.Proto.RendezvousBytes; th > 0 && bytes > th {
+		// RTS/CTS round trip before the payload moves.
+		r.proc.Wait(2 * ep.SoftwareLatencyUS() * 1e-6)
+	}
+	r.comm.Cl.Net.Deliver(r.proc, r.id, dst, bytes)
+	r.record(trace.Send, t0)
+	r.comm.BytesSent += int64(bytes)
+	r.comm.Msgs++
+	r.comm.pairBytes[r.id*r.Size()+dst] += int64(bytes)
+	r.comm.ranks[dst].deliver(&Msg{Src: r.id, Tag: tag, Bytes: bytes, Data: data})
+}
+
+// CommMatrix returns the accumulated src x dst traffic matrix in bytes
+// — Paraver's who-talks-to-whom view, the first thing trace analysis
+// plots when a run scales badly.
+func (c *Comm) CommMatrix() [][]int64 {
+	n := len(c.ranks)
+	out := make([][]int64, n)
+	for s := 0; s < n; s++ {
+		out[s] = append([]int64(nil), c.pairBytes[s*n:(s+1)*n]...)
+	}
+	return out
+}
+
+// deliver places a message in dst's pending set and wakes a matching
+// waiter, if any. Runs in the sender's process context; the wake goes
+// through the event queue (via sim.Queue) so ordering is deterministic.
+func (r *Rank) deliver(m *Msg) {
+	for i, w := range r.waiting {
+		if (w.src == AnySource || w.src == m.Src) && (w.tag == AnyTag || w.tag == m.Tag) {
+			r.waiting = append(r.waiting[:i], r.waiting[i+1:]...)
+			w.q.Push(m)
+			return
+		}
+	}
+	r.pending = append(r.pending, m)
+}
+
+// Recv blocks until a message matching (src, tag) arrives — use
+// AnySource / AnyTag as wildcards — then charges the receiver-side
+// protocol cost and returns the message.
+func (r *Rank) Recv(src, tag int) *Msg {
+	t0 := r.proc.Now()
+	m := r.match(src, tag)
+	if m == nil {
+		w := &recvWait{src: src, tag: tag, q: sim.NewQueue(r.comm.Cl.Eng)}
+		r.waiting = append(r.waiting, w)
+		m = w.q.Pop(r.proc).(*Msg)
+	}
+	r.record(trace.Wait, t0)
+	t1 := r.proc.Now()
+	ep := r.Node().Endpoint(r.comm.Cl.Proto)
+	r.proc.Wait(ep.RecvCost(m.Bytes))
+	r.record(trace.Recv, t1)
+	return m
+}
+
+// match removes and returns the first pending message matching the
+// (src, tag) pair, or nil.
+func (r *Rank) match(src, tag int) *Msg {
+	for i, m := range r.pending {
+		if (src == AnySource || src == m.Src) && (tag == AnyTag || tag == m.Tag) {
+			r.pending = append(r.pending[:i], r.pending[i+1:]...)
+			return m
+		}
+	}
+	return nil
+}
+
+// HostSync synchronises all rank goroutines without modelling any
+// communication: no messages are sent and the virtual clock of each
+// rank only advances to the latest arrival. Applications use it to
+// sequence their shared-memory realisation of distributed state (for
+// example, flipping a double buffer that in the real code is private
+// per rank); the real code has no corresponding operation, so charging
+// a modelled barrier here would overstate communication.
+func (r *Rank) HostSync() {
+	c := r.comm
+	if c.hostSyncQ == nil {
+		c.hostSyncQ = make([]*sim.Queue, len(c.ranks))
+		for i := range c.hostSyncQ {
+			c.hostSyncQ[i] = sim.NewQueue(c.Cl.Eng)
+		}
+	}
+	c.hostSyncN++
+	if c.hostSyncN == len(c.ranks) {
+		// Last to arrive at this epoch: release everyone.
+		c.hostSyncN = 0
+		t := r.proc.Now()
+		for i, q := range c.hostSyncQ {
+			if i != r.id {
+				q.Push(t)
+			}
+		}
+		return
+	}
+	t := c.hostSyncQ[r.id].Pop(r.proc).(float64)
+	r.proc.WaitUntil(t)
+}
+
+// SendRecv performs a blocking exchange with a partner: sends first if
+// this rank has the lower id, which avoids head-of-line blocking on
+// symmetric exchanges. Returns the received message.
+func (r *Rank) SendRecv(peer, tag int, data any, bytes int) *Msg {
+	if r.id < peer {
+		r.Send(peer, tag, data, bytes)
+		return r.Recv(peer, tag)
+	}
+	m := r.Recv(peer, tag)
+	r.Send(peer, tag, data, bytes)
+	return m
+}

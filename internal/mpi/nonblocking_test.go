@@ -1,0 +1,167 @@
+package mpi
+
+import (
+	"testing"
+)
+
+func TestIsendOverlapsWithCompute(t *testing.T) {
+	// A blocking Send of 16 MiB occupies the sender for the full wire
+	// time (~128 ms at 1 Gb/s); Isend returns after the injection cost
+	// so compute can overlap.
+	const m = 16 << 20
+	var blockingT, overlapT float64
+	run := func(overlap bool) float64 {
+		cl := testCluster(2)
+		var total float64
+		Run(cl, 2, func(r *Rank) {
+			if r.ID() == 0 {
+				start := r.Now()
+				if overlap {
+					req := r.Isend(1, 1, nil, m)
+					r.Compute(0.1) // overlapped work
+					req.Wait()
+				} else {
+					r.Send(1, 1, nil, m)
+					r.Compute(0.1)
+				}
+				total = r.Now() - start
+			} else {
+				r.Recv(0, 1)
+			}
+		})
+		return total
+	}
+	blockingT = run(false)
+	overlapT = run(true)
+	if overlapT >= blockingT-0.02 {
+		t.Errorf("no overlap benefit: blocking %.3fs vs isend %.3fs", blockingT, overlapT)
+	}
+}
+
+func TestIsendDeliversPayload(t *testing.T) {
+	cl := testCluster(2)
+	var got int
+	Run(cl, 2, func(r *Rank) {
+		if r.ID() == 0 {
+			req := r.Isend(1, 5, 77, 8)
+			req.Wait()
+		} else {
+			got = r.Recv(0, 5).Data.(int)
+		}
+	})
+	if got != 77 {
+		t.Errorf("payload = %d", got)
+	}
+}
+
+func TestIrecvWaitRecv(t *testing.T) {
+	cl := testCluster(2)
+	var got int
+	Run(cl, 2, func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 9, 123, 8)
+		} else {
+			req := r.Irecv(0, 9)
+			r.Compute(0.001)
+			got = r.WaitRecv(req).Data.(int)
+		}
+	})
+	if got != 123 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestIrecvPostedBeforeSend(t *testing.T) {
+	cl := testCluster(2)
+	var got int
+	Run(cl, 2, func(r *Rank) {
+		if r.ID() == 1 {
+			req := r.Irecv(0, 3)
+			got = r.WaitRecv(req).Data.(int)
+		} else {
+			r.Compute(0.01)
+			r.Send(1, 3, 9, 8)
+		}
+	})
+	if got != 9 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestWaitAllMixed(t *testing.T) {
+	cl := testCluster(3)
+	ok := true
+	Run(cl, 3, func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			reqs := []*Request{
+				r.Isend(1, 1, "a", 8),
+				r.Irecv(2, 2),
+			}
+			ms := r.WaitAll(reqs)
+			if ms[0] != nil || ms[1] == nil || ms[1].Data.(string) != "c" {
+				ok = false
+			}
+		case 1:
+			r.Recv(0, 1)
+		case 2:
+			r.Send(0, 2, "c", 8)
+		}
+	})
+	if !ok {
+		t.Error("WaitAll returned wrong results")
+	}
+}
+
+func TestRequestDoneNonBlocking(t *testing.T) {
+	cl := testCluster(2)
+	var sawNotDone, sawDone bool
+	Run(cl, 2, func(r *Rank) {
+		if r.ID() == 1 {
+			req := r.Irecv(0, 1)
+			if !req.Done() {
+				sawNotDone = true
+			}
+			r.Compute(1.0) // sender fires at t=0.5
+			if req.Done() {
+				sawDone = true
+			}
+			if m := req.Wait(); m.Data.(int) != 42 {
+				t.Error("wrong payload")
+			}
+		} else {
+			r.Compute(0.5)
+			r.Send(1, 1, 42, 8)
+		}
+	})
+	if !sawNotDone || !sawDone {
+		t.Errorf("Done transitions wrong: notDone=%v done=%v", sawNotDone, sawDone)
+	}
+}
+
+func TestWaitIdempotent(t *testing.T) {
+	cl := testCluster(2)
+	Run(cl, 2, func(r *Rank) {
+		if r.ID() == 0 {
+			req := r.Isend(1, 1, nil, 100)
+			req.Wait()
+			req.Wait() // second wait must not block or panic
+		} else {
+			r.Recv(0, 1)
+		}
+	})
+}
+
+func TestIsendPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for isend to self")
+		}
+	}()
+	cl := testCluster(2)
+	Run(cl, 2, func(r *Rank) {
+		if r.ID() == 0 {
+			r.Isend(0, 1, nil, 1)
+		}
+	})
+}

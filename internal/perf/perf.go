@@ -1,0 +1,260 @@
+// Package perf is the analytic execution-time model of mobilehpc.
+//
+// The paper measures how long each micro-kernel iteration takes on each
+// platform; here the platform is a parametric model (internal/soc), so
+// iteration time is predicted with a roofline-style model: a kernel is
+// characterised once, platform-independently, by a Profile (flops, DRAM
+// traffic, vectorisability, irregularity, parallel fraction, access
+// pattern), and the model combines that with the platform's compute
+// throughput and memory system.
+//
+// The model is deliberately simple — it has exactly the degrees of
+// freedom the paper's analysis turns on (FMA pipelining A9 vs A15, AVX
+// width on Sandy Bridge, outstanding-miss limits, memory-controller
+// bandwidth, DVFS) — and is calibrated against the paper's reported
+// cross-platform ratios (see internal/harness calibration tests).
+package perf
+
+import (
+	"fmt"
+	"math"
+
+	"mobilehpc/internal/soc"
+)
+
+// Pattern classifies a kernel's dominant DRAM access pattern. It scales
+// achievable bandwidth relative to a pure streaming (STREAM-like) access.
+type Pattern int
+
+const (
+	// Streaming is unit-stride bulk access (vecop, red, STREAM).
+	Streaming Pattern = iota
+	// Blocked is cache-tiled access with high reuse (dmmm, 2dcon).
+	Blocked
+	// Strided is regular non-unit stride (3dstc, fft).
+	Strided
+	// Irregular is data-dependent gather/scatter (spvm, nbody, hist).
+	Irregular
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case Streaming:
+		return "streaming"
+	case Blocked:
+		return "blocked"
+	case Strided:
+		return "strided"
+	case Irregular:
+		return "irregular"
+	}
+	return fmt.Sprintf("Pattern(%d)", int(p))
+}
+
+// relBW is achievable bandwidth relative to streaming for each pattern.
+func (p Pattern) relBW() float64 {
+	switch p {
+	case Streaming:
+		return 1.0
+	case Blocked:
+		return 0.90
+	case Strided:
+		return 0.62
+	case Irregular:
+		return 0.30
+	}
+	return 1.0
+}
+
+// Profile characterises one iteration of a kernel at its evaluation
+// problem size, identically on every platform (the paper fixes the
+// problem size across platforms "so that each platform has the same
+// amount of work to perform in one iteration").
+type Profile struct {
+	Kernel string
+	// Flops per iteration (double precision).
+	Flops float64
+	// Bytes of DRAM traffic per iteration (beyond-cache volume).
+	Bytes float64
+	// SIMDFraction in [0,1]: share of flops expressible with the SIMD /
+	// FMA pipes (the rest runs at scalar throughput).
+	SIMDFraction float64
+	// Irregularity in [0,1]: dependence/branch pressure. 0 = perfectly
+	// pipelined; 1 = fully exposed to the microarchitecture's ILPFactor.
+	Irregularity float64
+	// ParallelFraction in [0,1]: Amdahl parallel share of the iteration.
+	ParallelFraction float64
+	// Pattern is the dominant memory access pattern.
+	Pattern Pattern
+	// CacheFitBonus in [0,1]: fraction of DRAM traffic that disappears
+	// when the per-thread working set drops into the shared L2 under
+	// multithreading (msort, 2dcon and dmmm partials benefit).
+	CacheFitBonus float64
+	// SyncPerIter counts synchronisation episodes (barriers, reduction
+	// joins) per iteration in the parallel version.
+	SyncPerIter float64
+}
+
+// Validate checks profile fields are in range.
+func (pr Profile) Validate() error {
+	in01 := func(v float64) bool { return v >= 0 && v <= 1 }
+	switch {
+	case pr.Kernel == "":
+		return fmt.Errorf("perf: profile missing kernel name")
+	case pr.Flops <= 0:
+		return fmt.Errorf("perf: %s: Flops must be positive", pr.Kernel)
+	case pr.Bytes < 0:
+		return fmt.Errorf("perf: %s: Bytes must be non-negative", pr.Kernel)
+	case !in01(pr.SIMDFraction) || !in01(pr.Irregularity) ||
+		!in01(pr.ParallelFraction) || !in01(pr.CacheFitBonus):
+		return fmt.Errorf("perf: %s: fraction field out of [0,1]", pr.Kernel)
+	case pr.SyncPerIter < 0:
+		return fmt.Errorf("perf: %s: SyncPerIter negative", pr.Kernel)
+	}
+	return nil
+}
+
+// ComputeRate returns the achievable double-precision flop rate of one
+// core of p at fGHz on work shaped like pr, in flops/second.
+func ComputeRate(p *soc.Platform, fGHz float64, pr Profile) float64 {
+	a := p.Arch
+	width := pr.SIMDFraction*a.FlopsPerCycle + (1-pr.SIMDFraction)*a.ScalarFlopsPerCycle
+	eff := (1 - pr.Irregularity) + pr.Irregularity*a.ILPFactor
+	return fGHz * 1e9 * a.SustainedFrac * width * eff
+}
+
+// bwAt returns achievable DRAM bandwidth (bytes/s) with n active cores
+// at core frequency fGHz for the given pattern. Single-core bandwidth is
+// limited by the core's outstanding-miss capability (StreamEffSingle,
+// quoted at the maximum frequency and degraded at lower clocks according
+// to the microarchitecture's BWFreqSens); all-core bandwidth saturates
+// the memory controller (StreamEffMulti) and is frequency-insensitive.
+// Intermediate core counts interpolate.
+func bwAt(p *soc.Platform, fGHz float64, n int, pat Pattern) float64 {
+	m := p.Mem
+	freqFactor := 1 - p.Arch.BWFreqSens*(1-fGHz/p.MaxFreq())
+	effSingle := m.StreamEffSingle * freqFactor
+	eff := effSingle
+	if p.Cores > 1 && n > 1 {
+		t := float64(n-1) / float64(p.Cores-1)
+		eff = effSingle + (m.StreamEffMulti-effSingle)*t
+	}
+	return m.PeakGBs * 1e9 * eff * pat.relBW()
+}
+
+// SingleCoreBW returns achievable single-core bandwidth in bytes/s at
+// frequency fGHz.
+func SingleCoreBW(p *soc.Platform, fGHz float64, pat Pattern) float64 {
+	return bwAt(p, fGHz, 1, pat)
+}
+
+// MultiCoreBW returns achievable bandwidth with all cores active at
+// frequency fGHz.
+func MultiCoreBW(p *soc.Platform, fGHz float64, pat Pattern) float64 {
+	return bwAt(p, fGHz, p.Cores, pat)
+}
+
+// syncCost models one synchronisation episode among n threads at fGHz:
+// a centralised barrier costs a few microseconds and grows with log n,
+// and slows down with the core clock.
+func syncCost(n int, fGHz float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return (1.5e-6 + 0.8e-6*math.Log2(float64(n))) / fGHz
+}
+
+// IterTime predicts the time (seconds) for one iteration of pr on
+// platform p at frequency fGHz using `threads` cores (1 = the serial
+// version). It panics if threads exceeds the core count or fGHz is not
+// positive.
+func IterTime(p *soc.Platform, fGHz float64, pr Profile, threads int) float64 {
+	if threads < 1 || threads > p.Cores {
+		panic(fmt.Sprintf("perf: %d threads on %d-core %s", threads, p.Cores, p.Name))
+	}
+	if fGHz <= 0 {
+		panic("perf: non-positive frequency")
+	}
+	// Compute time: Amdahl over threads.
+	rate := ComputeRate(p, fGHz, pr)
+	speedup := 1.0
+	if threads > 1 {
+		speedup = 1 / ((1 - pr.ParallelFraction) + pr.ParallelFraction/float64(threads))
+	}
+	tc := pr.Flops / rate / speedup
+	// Memory time: traffic may shrink when per-thread working sets drop
+	// into cache; bandwidth grows with active cores up to the controller
+	// limit.
+	bytes := pr.Bytes
+	if threads > 1 {
+		bytes *= 1 - pr.CacheFitBonus*(1-1/float64(threads))
+	}
+	tm := 0.0
+	if bytes > 0 {
+		tm = bytes / bwAt(p, fGHz, threads, pr.Pattern)
+	}
+	// Roofline with partial overlap: the longer stream hides the shorter
+	// one in proportion to the microarchitecture's overlap ability.
+	t := math.Max(tc, tm) + (1-p.Arch.MemOverlap)*math.Min(tc, tm)
+	if threads > 1 {
+		t += pr.SyncPerIter * syncCost(threads, fGHz)
+	}
+	return t
+}
+
+// EnergyPerIter predicts platform energy (joules) to run one iteration
+// of pr with `threads` active cores at fGHz: whole-platform power (idle
+// plus active-core dynamic power) integrated over the iteration, which
+// is what the paper's wall-socket power meter reports.
+func EnergyPerIter(p *soc.Platform, fGHz float64, pr Profile, threads int) float64 {
+	t := IterTime(p, fGHz, pr, threads)
+	return p.Power.Watts(fGHz, threads) * t
+}
+
+// GFLOPSAchieved returns the achieved GFLOPS for pr on p at fGHz.
+func GFLOPSAchieved(p *soc.Platform, fGHz float64, pr Profile, threads int) float64 {
+	return pr.Flops / IterTime(p, fGHz, pr, threads) / 1e9
+}
+
+// SuitePerf summarises a kernel suite on one platform/frequency/thread
+// configuration: the geometric-mean iteration speedup relative to a
+// baseline time set, and the arithmetic-mean energy per iteration (the
+// two aggregations the paper reports).
+type SuitePerf struct {
+	MeanTime   float64 // arithmetic mean iteration time, s
+	MeanEnergy float64 // arithmetic mean energy per iteration, J
+	GeoTime    float64 // geometric mean iteration time, s
+}
+
+// Suite evaluates all profiles on p at fGHz with the given thread count.
+func Suite(p *soc.Platform, fGHz float64, profiles []Profile, threads int) SuitePerf {
+	if len(profiles) == 0 {
+		panic("perf: empty suite")
+	}
+	var sumT, sumE, sumLog float64
+	for _, pr := range profiles {
+		t := IterTime(p, fGHz, pr, threads)
+		sumT += t
+		sumE += EnergyPerIter(p, fGHz, pr, threads)
+		sumLog += math.Log(t)
+	}
+	n := float64(len(profiles))
+	return SuitePerf{
+		MeanTime:   sumT / n,
+		MeanEnergy: sumE / n,
+		GeoTime:    math.Exp(sumLog / n),
+	}
+}
+
+// GeoSpeedup returns the geometric-mean speedup of run vs base, where
+// both evaluated the same profile list in the same order.
+func GeoSpeedup(base, run []float64) float64 {
+	if len(base) != len(run) || len(base) == 0 {
+		panic("perf: mismatched speedup series")
+	}
+	sum := 0.0
+	for i := range base {
+		sum += math.Log(base[i] / run[i])
+	}
+	return math.Exp(sum / float64(len(base)))
+}

@@ -1,0 +1,234 @@
+package perf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mobilehpc/internal/soc"
+)
+
+func regularProfile() Profile {
+	return Profile{
+		Kernel: "dense", Flops: 5e9, Bytes: 1e9,
+		SIMDFraction: 0.9, Irregularity: 0.1,
+		ParallelFraction: 0.99, Pattern: Blocked,
+	}
+}
+
+func memProfile() Profile {
+	return Profile{
+		Kernel: "stream", Flops: 5e8, Bytes: 6e9,
+		SIMDFraction: 1.0, Irregularity: 0.0,
+		ParallelFraction: 0.99, Pattern: Streaming,
+	}
+}
+
+func TestIterTimeScalesWithFrequencyComputeBound(t *testing.T) {
+	p := soc.Tegra2()
+	pr := Profile{Kernel: "cb", Flops: 5e9, SIMDFraction: 1, ParallelFraction: 1, Pattern: Blocked}
+	t1 := IterTime(p, 0.5, pr, 1)
+	t2 := IterTime(p, 1.0, pr, 1)
+	if math.Abs(t1/t2-2.0) > 1e-9 {
+		t.Errorf("compute-bound time ratio = %v, want 2", t1/t2)
+	}
+}
+
+func TestMemBoundInsensitiveToFrequency(t *testing.T) {
+	p := soc.Tegra2()
+	pr := memProfile()
+	t1 := IterTime(p, 0.456, pr, 1)
+	t2 := IterTime(p, 1.0, pr, 1)
+	// Memory-dominated kernel should gain far less than linearly.
+	if t1/t2 > 1.5 {
+		t.Errorf("memory-bound kernel scaled too much with frequency: %v", t1/t2)
+	}
+}
+
+func TestMultithreadSpeedsUp(t *testing.T) {
+	for _, p := range soc.All() {
+		pr := regularProfile()
+		ts := IterTime(p, p.MaxFreq(), pr, 1)
+		tp := IterTime(p, p.MaxFreq(), pr, p.Cores)
+		if tp >= ts {
+			t.Errorf("%s: no multithread speedup (%v vs %v)", p.Name, tp, ts)
+		}
+		if ts/tp > float64(p.Cores)*1.05 {
+			t.Errorf("%s: impossible speedup %v on %d cores for compute-bound work",
+				p.Name, ts/tp, p.Cores)
+		}
+	}
+}
+
+func TestCacheFitBonusAllowsSuperlinear(t *testing.T) {
+	p := soc.Exynos5250()
+	pr := memProfile()
+	pr.CacheFitBonus = 0.9
+	ts := IterTime(p, 1.0, pr, 1)
+	tp := IterTime(p, 1.0, pr, 2)
+	if ts/tp <= 2.0 {
+		t.Errorf("cache-fit bonus should allow >2x on 2 cores, got %v", ts/tp)
+	}
+}
+
+func TestArchOrderingOnRegularCode(t *testing.T) {
+	// Clock-for-clock at 1 GHz on regular compute-heavy code:
+	// A9 < A15 < Sandy Bridge.
+	pr := regularProfile()
+	a9 := IterTime(soc.Tegra2(), 1.0, pr, 1)
+	a15 := IterTime(soc.Exynos5250(), 1.0, pr, 1)
+	snb := IterTime(soc.CoreI7(), 1.0, pr, 1)
+	if !(a9 > a15 && a15 > snb) {
+		t.Errorf("arch ordering violated: A9=%v A15=%v SNB=%v", a9, a15, snb)
+	}
+}
+
+func TestTegra3BeatsTegra2OnMemoryBound(t *testing.T) {
+	// Same Cortex-A9 core, better memory controller (§3.1.1).
+	pr := memProfile()
+	t2 := IterTime(soc.Tegra2(), 1.0, pr, 1)
+	t3 := IterTime(soc.Tegra3(), 1.0, pr, 1)
+	if t3 >= t2 {
+		t.Errorf("Tegra3 (%v) not faster than Tegra2 (%v) on memory-bound kernel", t3, t2)
+	}
+}
+
+func TestComputeRateSIMDAndIrregularity(t *testing.T) {
+	p := soc.CoreI7()
+	vec := Profile{SIMDFraction: 1}
+	scl := Profile{SIMDFraction: 0}
+	rv := ComputeRate(p, 1.0, vec)
+	rs := ComputeRate(p, 1.0, scl)
+	if math.Abs(rv/rs-4.0) > 1e-9 { // AVX 8 vs scalar 2
+		t.Errorf("SIMD/scalar ratio = %v, want 4", rv/rs)
+	}
+	irr := Profile{SIMDFraction: 1, Irregularity: 1}
+	if ComputeRate(p, 1.0, irr) >= rv {
+		t.Error("irregular code should be slower")
+	}
+}
+
+func TestBandwidthInterpolation(t *testing.T) {
+	p := soc.CoreI7()
+	b1 := SingleCoreBW(p, p.MaxFreq(), Streaming)
+	bn := MultiCoreBW(p, p.MaxFreq(), Streaming)
+	if b1 >= bn {
+		t.Errorf("single-core BW %v >= multi-core BW %v", b1, bn)
+	}
+	wantMulti := p.Mem.PeakGBs * 1e9 * p.Mem.StreamEffMulti
+	if math.Abs(bn-wantMulti)/wantMulti > 1e-9 {
+		t.Errorf("multi-core BW = %v, want %v", bn, wantMulti)
+	}
+	if Irregular.relBW() >= Streaming.relBW() {
+		t.Error("irregular pattern must achieve less bandwidth than streaming")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := regularProfile()
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid profile rejected: %v", err)
+	}
+	bad := good
+	bad.SIMDFraction = 1.5
+	if bad.Validate() == nil {
+		t.Error("out-of-range SIMDFraction accepted")
+	}
+	bad = good
+	bad.Flops = 0
+	if bad.Validate() == nil {
+		t.Error("zero flops accepted")
+	}
+	bad = good
+	bad.Kernel = ""
+	if bad.Validate() == nil {
+		t.Error("empty kernel name accepted")
+	}
+}
+
+func TestIterTimePanics(t *testing.T) {
+	p := soc.Tegra2()
+	for _, fn := range []func(){
+		func() { IterTime(p, 1.0, regularProfile(), 0) },
+		func() { IterTime(p, 1.0, regularProfile(), p.Cores+1) },
+		func() { IterTime(p, 0, regularProfile(), 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSuiteAggregates(t *testing.T) {
+	p := soc.Tegra2()
+	profiles := []Profile{regularProfile(), memProfile()}
+	s := Suite(p, 1.0, profiles, 1)
+	t1 := IterTime(p, 1.0, profiles[0], 1)
+	t2 := IterTime(p, 1.0, profiles[1], 1)
+	if math.Abs(s.MeanTime-(t1+t2)/2) > 1e-12 {
+		t.Errorf("MeanTime = %v, want %v", s.MeanTime, (t1+t2)/2)
+	}
+	if math.Abs(s.GeoTime-math.Sqrt(t1*t2)) > 1e-12 {
+		t.Errorf("GeoTime = %v, want %v", s.GeoTime, math.Sqrt(t1*t2))
+	}
+}
+
+func TestGeoSpeedup(t *testing.T) {
+	base := []float64{4, 9}
+	run := []float64{1, 1}
+	if got := GeoSpeedup(base, run); math.Abs(got-6) > 1e-12 {
+		t.Errorf("GeoSpeedup = %v, want 6", got)
+	}
+}
+
+// Property: iteration time is positive and monotonically non-increasing
+// in frequency for any valid profile.
+func TestIterTimeMonotoneProperty(t *testing.T) {
+	p := soc.Exynos5250()
+	f := func(flopsK, bytesK uint32, simd8, irr8, par8 uint8) bool {
+		pr := Profile{
+			Kernel:           "q",
+			Flops:            float64(flopsK%1000+1) * 1e6,
+			Bytes:            float64(bytesK%1000) * 1e6,
+			SIMDFraction:     float64(simd8%101) / 100,
+			Irregularity:     float64(irr8%101) / 100,
+			ParallelFraction: float64(par8%101) / 100,
+			Pattern:          Pattern(int(simd8) % 4),
+		}
+		if pr.Validate() != nil {
+			return true
+		}
+		prev := math.Inf(1)
+		for _, fr := range p.FreqGHz {
+			tt := IterTime(p, fr, pr, 1)
+			if tt <= 0 || tt > prev+1e-12 {
+				return false
+			}
+			prev = tt
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: energy per iteration equals power times time.
+func TestEnergyConsistencyProperty(t *testing.T) {
+	p := soc.Tegra3()
+	f := func(n uint8) bool {
+		threads := int(n)%p.Cores + 1
+		pr := regularProfile()
+		e := EnergyPerIter(p, 1.0, pr, threads)
+		want := p.Power.Watts(1.0, threads) * IterTime(p, 1.0, pr, threads)
+		return math.Abs(e-want) < 1e-9*want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,121 @@
+package power
+
+import (
+	"fmt"
+
+	"mobilehpc/internal/soc"
+)
+
+// This file models the §5 kernel-tuning decision: "All Linux kernels
+// were tuned for HPC by ... setting the default DVFS policy to
+// performance." The ondemand governor ramps frequency in steps as load
+// is observed, so every compute burst starts slow; the performance
+// governor pins the maximum frequency. For HPC's long steady bursts
+// the ramp is pure loss — which is why the paper pins the frequency —
+// and this model quantifies that loss.
+
+// GovernorKind selects a DVFS policy.
+type GovernorKind int
+
+// The two policies the paper chooses between.
+const (
+	// Performance pins the maximum operating point.
+	Performance GovernorKind = iota
+	// Ondemand starts each burst at the lowest operating point and
+	// steps up one point per sampling interval under full load.
+	Ondemand
+)
+
+func (g GovernorKind) String() string {
+	if g == Ondemand {
+		return "ondemand"
+	}
+	return "performance"
+}
+
+// Governor models a DVFS policy on a platform.
+type Governor struct {
+	Kind       GovernorKind
+	SampleSec  float64 // ondemand sampling interval (Linux default 10 ms... 100 ms on these boards)
+	IdleToMinS float64 // idle time before ondemand drops back to min
+}
+
+// DefaultOndemand returns the boards' stock ondemand configuration.
+func DefaultOndemand() Governor {
+	return Governor{Kind: Ondemand, SampleSec: 0.1, IdleToMinS: 0.2}
+}
+
+// DefaultPerformance returns the paper's HPC configuration.
+func DefaultPerformance() Governor {
+	return Governor{Kind: Performance}
+}
+
+// BurstResult describes executing one compute burst under a governor.
+type BurstResult struct {
+	Time   float64 // seconds to complete the burst
+	Energy float64 // platform joules over the burst
+	// RampLoss is the extra time relative to pinned-max execution.
+	RampLoss float64
+}
+
+// Burst executes `work` seconds of max-frequency-equivalent compute
+// (i.e. the burst takes `work` seconds when pinned at fmax) on
+// platform p with n active cores under the governor. Compute speed is
+// assumed proportional to frequency (the Figure 3 linearity), so at a
+// lower operating point the same work takes fmax/f times longer.
+func (g Governor) Burst(p *soc.Platform, n int, work float64) BurstResult {
+	if work < 0 {
+		panic("power: negative burst")
+	}
+	fmax := p.MaxFreq()
+	if g.Kind == Performance {
+		e := p.Power.Watts(fmax, n) * work
+		return BurstResult{Time: work, Energy: e}
+	}
+	if g.SampleSec <= 0 {
+		panic(fmt.Sprintf("power: ondemand governor needs a sampling interval, got %v", g.SampleSec))
+	}
+	// Ondemand: one sampling interval at each operating point from the
+	// bottom, then the remainder at fmax.
+	remaining := work
+	var elapsed, energy float64
+	for _, f := range p.FreqGHz[:len(p.FreqGHz)-1] {
+		if remaining <= 0 {
+			break
+		}
+		// During SampleSec wall seconds at frequency f, work completed
+		// is SampleSec * f/fmax.
+		done := g.SampleSec * f / fmax
+		if done > remaining {
+			// Burst ends mid-ramp.
+			wall := remaining * fmax / f
+			energy += p.Power.Watts(f, n) * wall
+			elapsed += wall
+			remaining = 0
+			break
+		}
+		remaining -= done
+		elapsed += g.SampleSec
+		energy += p.Power.Watts(f, n) * g.SampleSec
+	}
+	if remaining > 0 {
+		elapsed += remaining
+		energy += p.Power.Watts(fmax, n) * remaining
+	}
+	return BurstResult{Time: elapsed, Energy: energy, RampLoss: elapsed - work}
+}
+
+// Campaign executes `bursts` bursts of `work` seconds separated by
+// idle gaps long enough for ondemand to drop back to minimum — the
+// worst case for the ramp (an iterative solver with I/O between
+// steps). It returns totals excluding the idle gaps themselves.
+func (g Governor) Campaign(p *soc.Platform, n, bursts int, work float64) BurstResult {
+	var total BurstResult
+	for i := 0; i < bursts; i++ {
+		r := g.Burst(p, n, work)
+		total.Time += r.Time
+		total.Energy += r.Energy
+		total.RampLoss += r.RampLoss
+	}
+	return total
+}

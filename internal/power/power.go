@@ -1,0 +1,115 @@
+// Package power models the paper's energy-measurement methodology: a
+// Yokogawa WT230 wall-socket power meter bridged between the mains and
+// the platform, sampling whole-platform power at 10 Hz with 0.1 %
+// precision. Energy-to-solution is the integral of those samples over
+// the parallel region of the application, excluding initialisation and
+// finalisation — exactly the discipline of §3.1.
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"mobilehpc/internal/soc"
+)
+
+// MeterSpec describes a sampling power meter.
+type MeterSpec struct {
+	SampleHz  float64 // sampling frequency
+	Precision float64 // relative precision, e.g. 0.001 for 0.1 %
+}
+
+// Yokogawa WT230 as used in the paper.
+var Yokogawa = MeterSpec{SampleHz: 10, Precision: 0.001}
+
+// Sample is one power reading.
+type Sample struct {
+	T float64 // seconds since measurement start
+	W float64 // watts
+}
+
+// Trace is a power trace plus its integral.
+type Trace struct {
+	Samples []Sample
+	Joules  float64
+	AvgW    float64
+	Dur     float64
+}
+
+// Phase is a segment of constant platform activity: n cores busy at
+// frequency f for a duration. A benchmark run is a sequence of phases
+// (e.g. serial setup, parallel region, serial teardown).
+type Phase struct {
+	Dur         float64
+	FGHz        float64
+	ActiveCores int
+}
+
+// Measure integrates platform power over the given phases with the
+// meter's sampling behaviour: power is sampled at SampleHz, each sample
+// quantised to the meter precision, and the energy is the left Riemann
+// sum of samples — the same staircase a real sampling meter reports.
+// A final partial interval is accounted at the last sample's power.
+func Measure(p *soc.Platform, spec MeterSpec, phases []Phase) Trace {
+	if spec.SampleHz <= 0 {
+		panic("power: non-positive sample rate")
+	}
+	total := 0.0
+	for _, ph := range phases {
+		if ph.Dur < 0 {
+			panic("power: negative phase duration")
+		}
+		total += ph.Dur
+	}
+	dt := 1 / spec.SampleHz
+	var tr Trace
+	tr.Dur = total
+	wAt := func(t float64) float64 {
+		acc := 0.0
+		for i, ph := range phases {
+			last := i == len(phases)-1
+			if t < acc+ph.Dur || last {
+				return quantize(p.Power.Watts(ph.FGHz, ph.ActiveCores), spec.Precision)
+			}
+			acc += ph.Dur
+		}
+		return quantize(p.Power.IdleW, spec.Precision)
+	}
+	for i := 0; ; i++ {
+		t := float64(i) * dt
+		if t >= total-1e-12 {
+			break
+		}
+		w := wAt(t)
+		tr.Samples = append(tr.Samples, Sample{T: t, W: w})
+		tr.Joules += w * math.Min(dt, total-t)
+	}
+	if total > 0 {
+		tr.AvgW = tr.Joules / total
+	}
+	return tr
+}
+
+// quantize rounds w to the meter's relative precision.
+func quantize(w, prec float64) float64 {
+	if prec <= 0 {
+		return w
+	}
+	q := w * prec
+	return math.Round(w/q) * q
+}
+
+// EnergyToSolution is the headline convenience: energy for a parallel
+// region of the given duration with n cores active at fGHz.
+func EnergyToSolution(p *soc.Platform, fGHz float64, activeCores int, dur float64) float64 {
+	return Measure(p, Yokogawa, []Phase{{Dur: dur, FGHz: fGHz, ActiveCores: activeCores}}).Joules
+}
+
+// MFLOPSPerWatt computes the Green500 ranking metric from achieved
+// GFLOPS and average system power in watts.
+func MFLOPSPerWatt(gflops, watts float64) float64 {
+	if watts <= 0 {
+		panic(fmt.Sprintf("power: non-positive watts %v", watts))
+	}
+	return gflops * 1000 / watts
+}

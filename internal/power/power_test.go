@@ -1,0 +1,121 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mobilehpc/internal/soc"
+)
+
+func TestMeasureConstantPhase(t *testing.T) {
+	p := soc.Tegra2()
+	tr := Measure(p, Yokogawa, []Phase{{Dur: 10, FGHz: 1.0, ActiveCores: 1}})
+	want := p.Power.Watts(1.0, 1) * 10
+	if math.Abs(tr.Joules-want)/want > 0.002 {
+		t.Errorf("Joules = %v, want ~%v", tr.Joules, want)
+	}
+	if len(tr.Samples) != 100 {
+		t.Errorf("samples = %d, want 100 (10 s at 10 Hz)", len(tr.Samples))
+	}
+	if math.Abs(tr.AvgW-p.Power.Watts(1.0, 1))/tr.AvgW > 0.002 {
+		t.Errorf("AvgW = %v", tr.AvgW)
+	}
+}
+
+func TestMeasureMultiPhase(t *testing.T) {
+	p := soc.CoreI7()
+	phases := []Phase{
+		{Dur: 2, FGHz: 2.4, ActiveCores: 1}, // serial region
+		{Dur: 4, FGHz: 2.4, ActiveCores: 4}, // parallel region
+	}
+	tr := Measure(p, Yokogawa, phases)
+	want := p.Power.Watts(2.4, 1)*2 + p.Power.Watts(2.4, 4)*4
+	if math.Abs(tr.Joules-want)/want > 0.005 {
+		t.Errorf("Joules = %v, want ~%v", tr.Joules, want)
+	}
+	if tr.Dur != 6 {
+		t.Errorf("Dur = %v", tr.Dur)
+	}
+}
+
+func TestMeasureZeroDuration(t *testing.T) {
+	p := soc.Tegra2()
+	tr := Measure(p, Yokogawa, []Phase{{Dur: 0, FGHz: 1, ActiveCores: 1}})
+	if tr.Joules != 0 || tr.AvgW != 0 {
+		t.Errorf("zero-duration trace: %+v", tr)
+	}
+}
+
+func TestMeasurePartialInterval(t *testing.T) {
+	// 0.25 s at 10 Hz: 3 samples, energy = W * 0.25.
+	p := soc.Tegra2()
+	tr := Measure(p, Yokogawa, []Phase{{Dur: 0.25, FGHz: 1, ActiveCores: 2}})
+	want := p.Power.Watts(1, 2) * 0.25
+	if math.Abs(tr.Joules-want)/want > 0.002 {
+		t.Errorf("Joules = %v, want %v", tr.Joules, want)
+	}
+}
+
+func TestEnergyToSolutionMatchesAnalytic(t *testing.T) {
+	for _, p := range soc.All() {
+		e := EnergyToSolution(p, p.MaxFreq(), p.Cores, 30)
+		want := p.Power.Watts(p.MaxFreq(), p.Cores) * 30
+		if math.Abs(e-want)/want > 0.002 {
+			t.Errorf("%s: energy %v, want ~%v", p.Name, e, want)
+		}
+	}
+}
+
+func TestQuantizePrecision(t *testing.T) {
+	w := 123.456
+	q := quantize(w, 0.001)
+	if math.Abs(q-w)/w > 0.001 {
+		t.Errorf("quantize moved value too far: %v -> %v", w, q)
+	}
+	if quantize(w, 0) != w {
+		t.Error("zero precision must be identity")
+	}
+}
+
+func TestMFLOPSPerWatt(t *testing.T) {
+	// 97 GFLOPS at ~808 W is the paper's 120 MFLOPS/W Tibidabo figure.
+	got := MFLOPSPerWatt(97, 808.3)
+	if math.Abs(got-120) > 0.1 {
+		t.Errorf("MFLOPSPerWatt = %v, want ~120", got)
+	}
+}
+
+func TestMFLOPSPerWattPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on zero watts")
+		}
+	}()
+	MFLOPSPerWatt(1, 0)
+}
+
+func TestMeasureNegativePhasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on negative duration")
+		}
+	}()
+	Measure(soc.Tegra2(), Yokogawa, []Phase{{Dur: -1}})
+}
+
+// Property: measured energy is within meter precision + one sample of
+// the analytic integral for any single phase.
+func TestMeasureAccuracyProperty(t *testing.T) {
+	p := soc.Exynos5250()
+	f := func(d10 uint16, cores8 uint8) bool {
+		dur := float64(d10%400)/10 + 0.1
+		cores := int(cores8)%p.Cores + 1
+		tr := Measure(p, Yokogawa, []Phase{{Dur: dur, FGHz: 1.0, ActiveCores: cores}})
+		want := p.Power.Watts(1.0, cores) * dur
+		return math.Abs(tr.Joules-want) <= want*0.002+p.Power.Watts(1.0, cores)*0.11
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

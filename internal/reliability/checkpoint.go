@@ -1,0 +1,92 @@
+package reliability
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file extends the §6.3 reliability analysis to its operational
+// consequence: if a mobile-SoC cluster cannot have ECC, long jobs must
+// checkpoint, and §6.1's unstable PCIe/NIC adds node hangs on top.
+// Young's first-order formula gives the optimal checkpoint interval
+// and the resulting machine efficiency.
+
+// OptimalCheckpointHours returns Young's interval sqrt(2 * C * MTBF)
+// for a checkpoint cost of C hours on a machine with the given MTBF.
+func OptimalCheckpointHours(checkpointCostHours, mtbfHours float64) float64 {
+	if checkpointCostHours <= 0 || mtbfHours <= 0 {
+		panic("reliability: non-positive checkpoint cost or MTBF")
+	}
+	return math.Sqrt(2 * checkpointCostHours * mtbfHours)
+}
+
+// CheckpointEfficiency returns the fraction of machine time spent on
+// useful work when checkpointing every `interval` hours at a cost of C
+// hours, with failures at the given MTBF forcing half an interval of
+// rework on average plus a restart:
+//
+//	overhead = C/interval  +  (interval/2 + restart) / MTBF
+func CheckpointEfficiency(intervalHours, checkpointCostHours, restartHours, mtbfHours float64) float64 {
+	if intervalHours <= 0 || mtbfHours <= 0 {
+		panic("reliability: non-positive interval or MTBF")
+	}
+	overhead := checkpointCostHours/intervalHours +
+		(intervalHours/2+restartHours)/mtbfHours
+	eff := 1 - overhead
+	if eff < 0 {
+		return 0
+	}
+	return eff
+}
+
+// NodeStability models §6.1: "the integrated PCIe in Tegra 2 and
+// Tegra 3 was unstable ... sometimes it stopped responding when used
+// under heavy workloads. The consequence was that the node crashed."
+type NodeStability struct {
+	// HangsPerNodeDay is the rate of NIC/PCIe hangs per node per day
+	// under heavy communication load.
+	HangsPerNodeDay float64
+}
+
+// TibidaboPCIe returns the prototype's observed-order instability: a
+// hang somewhere in a busy 96-node partition every few days.
+func TibidaboPCIe() NodeStability {
+	return NodeStability{HangsPerNodeDay: 0.003}
+}
+
+// JobInterruptProb returns the probability that a `nodes`-node job of
+// the given length is killed by a node hang.
+func (s NodeStability) JobInterruptProb(nodes int, hours float64) float64 {
+	if nodes <= 0 || hours < 0 {
+		panic("reliability: bad job shape")
+	}
+	rate := s.HangsPerNodeDay / 24 * float64(nodes) // hangs per hour
+	return 1 - math.Exp(-rate*hours)
+}
+
+// ExpectedAttempts returns how many times an un-checkpointed job must
+// be (re)submitted on average until one run survives.
+func (s NodeStability) ExpectedAttempts(nodes int, hours float64) float64 {
+	p := s.JobInterruptProb(nodes, hours)
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return 1 / (1 - p)
+}
+
+// ClusterMTBFHours combines memory events (no ECC) and node hangs into
+// one machine MTBF for checkpoint planning.
+func ClusterMTBFHours(nodes, dimmsPerNode int, pAnnual float64, s NodeStability) float64 {
+	memRate := 1 / MTBEHours(nodes, dimmsPerNode, pAnnual)
+	hangRate := s.HangsPerNodeDay / 24 * float64(nodes)
+	total := memRate + hangRate
+	if total == 0 {
+		return math.Inf(1)
+	}
+	return 1 / total
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (s NodeStability) String() string {
+	return fmt.Sprintf("%.4f hangs/node/day", s.HangsPerNodeDay)
+}

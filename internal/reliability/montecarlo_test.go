@@ -1,0 +1,63 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMonteCarloMatchesAnalyticDailyProb(t *testing.T) {
+	// 1,500-node headline: the sampled daily error fraction must match
+	// the closed form within Monte-Carlo noise.
+	want := ClusterDailyErrorProb(1500, 2, DIMMAnnualErrorLow)
+	got := SimulateClusterDays(1500, 2, DIMMAnnualErrorLow, 3000, 42)
+	if math.Abs(got-want) > 0.03 {
+		t.Errorf("MC daily probability = %.3f, analytic %.3f", got, want)
+	}
+}
+
+func TestMonteCarloSmallCluster(t *testing.T) {
+	want := ClusterDailyErrorProb(96, 2, DIMMAnnualErrorHigh)
+	got := SimulateClusterDays(96, 2, DIMMAnnualErrorHigh, 5000, 7)
+	if math.Abs(got-want) > 0.02 {
+		t.Errorf("MC = %.4f, analytic %.4f", got, want)
+	}
+}
+
+func TestMonteCarloSurvivalMatchesExponential(t *testing.T) {
+	mtbf := 80.0
+	job := 24.0
+	want := math.Exp(-job / mtbf)
+	got := SimulateJobSurvival(mtbf, job, 20000, 99)
+	if math.Abs(got-want) > 0.02 {
+		t.Errorf("MC survival = %.3f, analytic %.3f", got, want)
+	}
+}
+
+func TestMonteCarloDeterministicForSeed(t *testing.T) {
+	a := SimulateClusterDays(100, 2, 0.04, 500, 5)
+	b := SimulateClusterDays(100, 2, 0.04, 500, 5)
+	if a != b {
+		t.Error("same seed produced different results")
+	}
+	c := SimulateClusterDays(100, 2, 0.04, 500, 6)
+	if a == c {
+		t.Error("different seeds produced identical results (suspicious)")
+	}
+}
+
+func TestMonteCarloPanics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { SimulateClusterDays(10, 2, 0.04, 0, 1) },
+		func() { SimulateJobSurvival(0, 1, 10, 1) },
+		func() { SimulateJobSurvival(10, 1, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,85 @@
+// Package reliability models the §6.3 memory-reliability argument.
+// The paper cites the Google field study (Schroeder et al. [37]): 4 %
+// to 20 % of DIMMs encounter a correctable error within a year, and
+// concludes that "a 1,500 node system, with 2 DIMMs per node, has a
+// 30 % error probability on any given day" — untenable without the ECC
+// protection that mobile memory controllers omit.
+//
+// This package reproduces that arithmetic and extends it into the
+// quantities a system designer needs: mean time between memory events
+// for a cluster, expected events over a run, and the completion
+// probability of an un-checkpointed job with and without ECC.
+package reliability
+
+import (
+	"fmt"
+	"math"
+)
+
+// DIMMAnnualErrorLow and DIMMAnnualErrorHigh bracket the Google study:
+// the fraction of DIMMs seeing at least one correctable error per year.
+const (
+	DIMMAnnualErrorLow  = 0.04
+	DIMMAnnualErrorHigh = 0.20
+)
+
+// DailyFromAnnual converts an annual per-DIMM error probability into a
+// per-day probability assuming independent days.
+func DailyFromAnnual(pAnnual float64) float64 {
+	if pAnnual < 0 || pAnnual >= 1 {
+		panic(fmt.Sprintf("reliability: annual probability %v out of [0,1)", pAnnual))
+	}
+	return 1 - math.Pow(1-pAnnual, 1.0/365)
+}
+
+// ClusterDailyErrorProb returns the probability that at least one DIMM
+// in the cluster sees an error on a given day.
+func ClusterDailyErrorProb(nodes, dimmsPerNode int, pAnnual float64) float64 {
+	if nodes <= 0 || dimmsPerNode <= 0 {
+		panic("reliability: non-positive cluster size")
+	}
+	pd := DailyFromAnnual(pAnnual)
+	return 1 - math.Pow(1-pd, float64(nodes*dimmsPerNode))
+}
+
+// MTBEHours returns the mean time between memory error events for the
+// cluster, in hours (exponential approximation over the daily rate).
+func MTBEHours(nodes, dimmsPerNode int, pAnnual float64) float64 {
+	pd := DailyFromAnnual(pAnnual)
+	rate := float64(nodes*dimmsPerNode) * pd // events per day
+	if rate == 0 {
+		return math.Inf(1)
+	}
+	return 24 / rate
+}
+
+// ExpectedEvents returns the expected number of memory error events
+// over a run of the given length in hours.
+func ExpectedEvents(nodes, dimmsPerNode int, pAnnual, hours float64) float64 {
+	return hours / MTBEHours(nodes, dimmsPerNode, pAnnual)
+}
+
+// JobSurvivalProb is the probability that an un-checkpointed job of
+// the given length finishes without a memory event taking a node down.
+// With ECC, correctable errors are absorbed and only the uncorrectable
+// fraction (typically ~1/10 of the correctable rate, per the field
+// study's uncorrectable-vs-correctable ratio) is fatal.
+func JobSurvivalProb(nodes, dimmsPerNode int, pAnnual, hours float64, ecc bool) float64 {
+	rate := 1 / MTBEHours(nodes, dimmsPerNode, pAnnual) // events/hour
+	if ecc {
+		rate *= UncorrectableFraction
+	}
+	return math.Exp(-rate * hours)
+}
+
+// UncorrectableFraction is the share of memory events that ECC cannot
+// correct (field-study order of magnitude).
+const UncorrectableFraction = 0.1
+
+// PaperHeadline returns the paper's own example: 1,500 nodes, 2 DIMMs
+// each, daily cluster error probability at the study's low and high
+// annual rates. The paper quotes "30 %" — the low-rate end.
+func PaperHeadline() (low, high float64) {
+	return ClusterDailyErrorProb(1500, 2, DIMMAnnualErrorLow),
+		ClusterDailyErrorProb(1500, 2, DIMMAnnualErrorHigh)
+}

@@ -1,0 +1,110 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperHeadline30Percent(t *testing.T) {
+	// §6.3: "a 1,500 node system, with 2 DIMMs per node, has a 30%
+	// error probability on any given day".
+	low, high := PaperHeadline()
+	if math.Abs(low-0.30) > 0.05 {
+		t.Errorf("low-rate daily probability = %.3f, paper quotes ~0.30", low)
+	}
+	if high <= low || high > 1 {
+		t.Errorf("high-rate probability %.3f not in (low, 1]", high)
+	}
+}
+
+func TestDailyFromAnnualRoundTrip(t *testing.T) {
+	pd := DailyFromAnnual(0.04)
+	annual := 1 - math.Pow(1-pd, 365)
+	if math.Abs(annual-0.04) > 1e-12 {
+		t.Errorf("round trip: %v", annual)
+	}
+}
+
+func TestClusterProbMonotoneInNodes(t *testing.T) {
+	prev := 0.0
+	for _, n := range []int{1, 10, 100, 1000, 10000} {
+		p := ClusterDailyErrorProb(n, 2, 0.04)
+		if p <= prev {
+			t.Errorf("probability not increasing at %d nodes", n)
+		}
+		if p < 0 || p > 1 {
+			t.Errorf("probability %v out of range", p)
+		}
+		prev = p
+	}
+}
+
+func TestMTBEShrinksWithClusterSize(t *testing.T) {
+	small := MTBEHours(96, 2, 0.04)
+	big := MTBEHours(1500, 2, 0.04)
+	if big >= small {
+		t.Errorf("MTBE should shrink: %v vs %v", small, big)
+	}
+	// 96-node Tibidabo: a memory event every couple of weeks at the
+	// low rate — tolerable; 1500 nodes: every ~3 days.
+	if small < 24 || small > 24*60 {
+		t.Errorf("96-node MTBE = %v h, implausible", small)
+	}
+}
+
+func TestExpectedEventsLinearInTime(t *testing.T) {
+	e1 := ExpectedEvents(1500, 2, 0.04, 10)
+	e2 := ExpectedEvents(1500, 2, 0.04, 20)
+	if math.Abs(e2-2*e1) > 1e-9 {
+		t.Errorf("expected events not linear: %v vs %v", e1, e2)
+	}
+}
+
+func TestECCImprovesSurvival(t *testing.T) {
+	noECC := JobSurvivalProb(1500, 2, 0.04, 24, false)
+	withECC := JobSurvivalProb(1500, 2, 0.04, 24, true)
+	if withECC <= noECC {
+		t.Errorf("ECC did not help: %v vs %v", withECC, noECC)
+	}
+	if noECC > 0.8 {
+		t.Errorf("24h no-ECC survival %v too optimistic for 1500 nodes (§6.3)", noECC)
+	}
+	if withECC < 0.85 {
+		t.Errorf("24h ECC survival %v too pessimistic", withECC)
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	for i, fn := range []func(){
+		func() { DailyFromAnnual(-0.1) },
+		func() { DailyFromAnnual(1.0) },
+		func() { ClusterDailyErrorProb(0, 2, 0.04) },
+		func() { ClusterDailyErrorProb(10, 0, 0.04) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: survival probability is in (0,1], decreasing in job length,
+// and ECC never hurts.
+func TestSurvivalProperty(t *testing.T) {
+	f := func(nodes16 uint16, hours8 uint8) bool {
+		nodes := int(nodes16)%5000 + 1
+		hours := float64(hours8%200) + 1
+		s1 := JobSurvivalProb(nodes, 2, 0.04, hours, false)
+		s2 := JobSurvivalProb(nodes, 2, 0.04, hours+1, false)
+		se := JobSurvivalProb(nodes, 2, 0.04, hours, true)
+		return s1 > 0 && s1 <= 1 && s2 <= s1 && se >= s1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

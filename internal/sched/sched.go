@@ -1,0 +1,179 @@
+// Package sched is the reproduction's SLURM: the paper's clusters ran
+// "a SLURM client for job scheduling across the cluster nodes" (§5).
+// It implements a node-allocating batch scheduler over the simulated
+// cluster — FIFO with optional conservative backfill — so multi-job
+// studies (e.g. throughput of a benchmark campaign on Tibidabo) can be
+// simulated with the same virtual clock as everything else.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"mobilehpc/internal/sim"
+)
+
+// Job is a batch submission: it needs `Nodes` nodes for `Duration`
+// simulated seconds once started.
+type Job struct {
+	ID       int
+	Name     string
+	Nodes    int
+	Duration float64
+	Submit   float64 // submission time
+
+	// Filled by the scheduler.
+	Start float64
+	End   float64
+}
+
+// Wait returns the queueing delay.
+func (j *Job) Wait() float64 { return j.Start - j.Submit }
+
+// Policy selects the scheduling discipline.
+type Policy int
+
+// Scheduling policies.
+const (
+	// FIFO starts jobs strictly in submission order; a wide job at the
+	// head blocks everything behind it.
+	FIFO Policy = iota
+	// Backfill lets a later job jump ahead if it fits in the idle nodes
+	// right now and does not delay the head job's earliest possible
+	// start (conservative backfill, as SLURM's scheduler plugin).
+	Backfill
+)
+
+func (p Policy) String() string {
+	if p == Backfill {
+		return "backfill"
+	}
+	return "fifo"
+}
+
+// Result summarises a completed schedule.
+type Result struct {
+	Jobs     []*Job
+	Makespan float64
+	// AvgWait is the mean queueing delay.
+	AvgWait float64
+	// Utilisation is busy node-seconds over nodes*makespan.
+	Utilisation float64
+}
+
+// Simulate runs the given jobs on a machine of `nodes` nodes under the
+// policy and returns the completed schedule. Jobs are started at their
+// earliest feasible time on the virtual clock; job bodies are opaque
+// reservations (compose with mpi.Run for full-fidelity job content).
+func Simulate(nodes int, jobs []*Job, policy Policy) Result {
+	if nodes <= 0 {
+		panic("sched: non-positive node count")
+	}
+	for _, j := range jobs {
+		if j.Nodes <= 0 || j.Nodes > nodes {
+			panic(fmt.Sprintf("sched: job %d needs %d of %d nodes", j.ID, j.Nodes, nodes))
+		}
+		if j.Duration <= 0 || j.Submit < 0 {
+			panic(fmt.Sprintf("sched: job %d has invalid duration/submit", j.ID))
+		}
+	}
+	eng := sim.NewEngine()
+	free := nodes
+	queue := []*Job{}
+	started := map[int]bool{}
+
+	pending := append([]*Job(nil), jobs...)
+	sort.SliceStable(pending, func(i, j int) bool { return pending[i].Submit < pending[j].Submit })
+
+	var tryStart func()
+	finish := func(j *Job) {
+		free += j.Nodes
+		tryStart()
+	}
+	start := func(j *Job) {
+		free -= j.Nodes
+		started[j.ID] = true
+		j.Start = eng.Now()
+		j.End = j.Start + j.Duration
+		eng.Schedule(j.Duration, func() { finish(j) })
+	}
+	tryStart = func() {
+		for len(queue) > 0 && queue[0].Nodes <= free {
+			j := queue[0]
+			queue = queue[1:]
+			start(j)
+		}
+		if policy == Backfill && len(queue) > 0 {
+			// Conservative backfill: the head job's shadow start is when
+			// enough running jobs will have finished; a later job may
+			// start now only if it ends before that shadow time, or if
+			// it fits in the nodes the head will not need even then.
+			shadow, spare := shadowStart(queue[0], free, eng.Now(), started, pending)
+			for i := 1; i < len(queue); {
+				j := queue[i]
+				if j.Nodes <= free {
+					endsInTime := eng.Now()+j.Duration <= shadow+1e-12
+					if endsInTime || j.Nodes <= spare {
+						if !endsInTime {
+							spare -= j.Nodes
+						}
+						queue = append(queue[:i], queue[i+1:]...)
+						start(j)
+						continue
+					}
+				}
+				i++
+			}
+		}
+	}
+
+	for _, j := range pending {
+		j := j
+		eng.At(j.Submit, func() {
+			queue = append(queue, j)
+			tryStart()
+		})
+	}
+	makespan := eng.RunAll()
+
+	res := Result{Jobs: jobs, Makespan: makespan}
+	busy := 0.0
+	for _, j := range jobs {
+		res.AvgWait += j.Wait()
+		busy += float64(j.Nodes) * j.Duration
+	}
+	res.AvgWait /= float64(len(jobs))
+	if makespan > 0 {
+		res.Utilisation = busy / (float64(nodes) * makespan)
+	}
+	return res
+}
+
+// shadowStart computes when the head job could earliest start given
+// currently running jobs, and how many nodes will be spare (beyond the
+// head's demand) at that moment — the room long backfill jobs may use.
+func shadowStart(head *Job, free int, now float64, started map[int]bool, all []*Job) (shadow float64, spare int) {
+	if head.Nodes <= free {
+		return now, free - head.Nodes
+	}
+	type rel struct {
+		end   float64
+		nodes int
+	}
+	var running []rel
+	for _, j := range all {
+		if started[j.ID] && j.End > now {
+			running = append(running, rel{j.End, j.Nodes})
+		}
+	}
+	sort.Slice(running, func(i, j int) bool { return running[i].end < running[j].end })
+	avail := free
+	for _, r := range running {
+		avail += r.nodes
+		if avail >= head.Nodes {
+			return r.end, avail - head.Nodes
+		}
+	}
+	// Head can never start (should not happen after validation).
+	return now, 0
+}

@@ -1,0 +1,163 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleJob(t *testing.T) {
+	j := &Job{ID: 1, Nodes: 4, Duration: 10, Submit: 0}
+	r := Simulate(8, []*Job{j}, FIFO)
+	if j.Start != 0 || j.End != 10 || r.Makespan != 10 {
+		t.Errorf("job: start=%v end=%v makespan=%v", j.Start, j.End, r.Makespan)
+	}
+	if math.Abs(r.Utilisation-0.5) > 1e-12 {
+		t.Errorf("utilisation = %v, want 0.5", r.Utilisation)
+	}
+}
+
+func TestFIFOQueuesWhenFull(t *testing.T) {
+	a := &Job{ID: 1, Nodes: 8, Duration: 5, Submit: 0}
+	b := &Job{ID: 2, Nodes: 8, Duration: 5, Submit: 0}
+	r := Simulate(8, []*Job{a, b}, FIFO)
+	if b.Start != 5 || r.Makespan != 10 {
+		t.Errorf("b.Start=%v makespan=%v", b.Start, r.Makespan)
+	}
+	if b.Wait() != 5 {
+		t.Errorf("b wait = %v", b.Wait())
+	}
+}
+
+func TestConcurrentWhenFits(t *testing.T) {
+	a := &Job{ID: 1, Nodes: 4, Duration: 5, Submit: 0}
+	b := &Job{ID: 2, Nodes: 4, Duration: 5, Submit: 0}
+	r := Simulate(8, []*Job{a, b}, FIFO)
+	if a.Start != 0 || b.Start != 0 || r.Makespan != 5 {
+		t.Errorf("jobs not concurrent: %v %v makespan %v", a.Start, b.Start, r.Makespan)
+	}
+}
+
+func TestFIFOHeadOfLineBlocking(t *testing.T) {
+	// Wide head job blocks a small job under FIFO even though nodes
+	// are idle.
+	running := &Job{ID: 1, Nodes: 6, Duration: 10, Submit: 0}
+	wide := &Job{ID: 2, Nodes: 8, Duration: 5, Submit: 1}
+	small := &Job{ID: 3, Nodes: 2, Duration: 2, Submit: 2}
+	Simulate(8, []*Job{running, wide, small}, FIFO)
+	if small.Start < 10 {
+		t.Errorf("FIFO let the small job jump the queue: start=%v", small.Start)
+	}
+}
+
+func TestBackfillFillsHole(t *testing.T) {
+	// Same scenario: backfill runs the small job in the hole because it
+	// finishes before the wide job could start anyway.
+	running := &Job{ID: 1, Nodes: 6, Duration: 10, Submit: 0}
+	wide := &Job{ID: 2, Nodes: 8, Duration: 5, Submit: 1}
+	small := &Job{ID: 3, Nodes: 2, Duration: 2, Submit: 2}
+	Simulate(8, []*Job{running, wide, small}, Backfill)
+	if small.Start != 2 {
+		t.Errorf("backfill did not fill the hole: small.Start=%v", small.Start)
+	}
+	if wide.Start != 10 {
+		t.Errorf("backfill delayed the head job: wide.Start=%v", wide.Start)
+	}
+}
+
+func TestBackfillDoesNotDelayHead(t *testing.T) {
+	running := &Job{ID: 1, Nodes: 6, Duration: 10, Submit: 0}
+	wide := &Job{ID: 2, Nodes: 8, Duration: 5, Submit: 1}
+	long := &Job{ID: 3, Nodes: 2, Duration: 50, Submit: 2}
+	Simulate(8, []*Job{running, wide, long}, Backfill)
+	if wide.Start > 10 {
+		t.Errorf("backfill delayed head: wide.Start=%v, want 10", wide.Start)
+	}
+}
+
+func TestBackfillBeatsOrTiesFIFOMakespan(t *testing.T) {
+	mk := func(policy Policy) float64 {
+		jobs := []*Job{
+			{ID: 1, Nodes: 6, Duration: 10, Submit: 0},
+			{ID: 2, Nodes: 8, Duration: 5, Submit: 1},
+			{ID: 3, Nodes: 2, Duration: 2, Submit: 2},
+			{ID: 4, Nodes: 1, Duration: 8, Submit: 2},
+		}
+		return Simulate(8, jobs, policy).Makespan
+	}
+	if mk(Backfill) > mk(FIFO) {
+		t.Errorf("backfill makespan %v worse than FIFO %v", mk(Backfill), mk(FIFO))
+	}
+}
+
+func TestSubmitTimesRespected(t *testing.T) {
+	j := &Job{ID: 1, Nodes: 1, Duration: 1, Submit: 7}
+	Simulate(4, []*Job{j}, FIFO)
+	if j.Start != 7 {
+		t.Errorf("job started at %v before submission", j.Start)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	for i, fn := range []func(){
+		func() { Simulate(0, nil, FIFO) },
+		func() { Simulate(4, []*Job{{ID: 1, Nodes: 9, Duration: 1}}, FIFO) },
+		func() { Simulate(4, []*Job{{ID: 1, Nodes: 1, Duration: 0}}, FIFO) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: every job runs exactly once, never overlapping capacity:
+// at any job start, the sum of node demands of running jobs <= nodes.
+func TestCapacityNeverExceededProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 20 {
+			return true
+		}
+		const nodes = 8
+		jobs := make([]*Job, len(raw))
+		for i, r := range raw {
+			jobs[i] = &Job{
+				ID:       i,
+				Nodes:    int(r)%nodes + 1,
+				Duration: float64(r%7) + 1,
+				Submit:   float64(r % 13),
+			}
+		}
+		for _, policy := range []Policy{FIFO, Backfill} {
+			js := make([]*Job, len(jobs))
+			for i, j := range jobs {
+				c := *j
+				js[i] = &c
+			}
+			Simulate(nodes, js, policy)
+			// Check capacity at every start instant.
+			for _, a := range js {
+				used := 0
+				for _, b := range js {
+					if b.Start <= a.Start && a.Start < b.End {
+						used += b.Nodes
+					}
+				}
+				if used > nodes {
+					return false
+				}
+				if a.Start < a.Submit {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,182 @@
+package sim
+
+import "fmt"
+
+// Proc is a blocking simulation process backed by a goroutine. A process
+// may suspend itself (Wait, Queue.Pop, Hold) and be resumed later by the
+// engine; while it runs, the engine dispatch loop is parked, so exactly
+// one goroutine is ever active and the simulation stays deterministic.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{} // engine -> proc: run
+	parked chan struct{} // proc -> engine: parked or done
+	dead   bool
+	panicV any
+}
+
+// Name returns the name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process runs under.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() float64 { return p.eng.now }
+
+// Go spawns fn as a simulation process starting at the current virtual
+// time. fn runs when the engine dispatches its start event.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		parked: make(chan struct{}),
+	}
+	e.procs++
+	go func() {
+		<-p.resume
+		defer func() {
+			p.dead = true
+			e.procs--
+			if r := recover(); r != nil {
+				p.panicV = r
+			}
+			p.parked <- struct{}{}
+		}()
+		fn(p)
+	}()
+	e.Schedule(0, func() { e.switchTo(p) })
+	return p
+}
+
+// switchTo hands control from the engine loop to p until p parks or
+// returns. Must only be called from engine (event-callback) context.
+func (e *Engine) switchTo(p *Proc) {
+	if p.dead {
+		panic(fmt.Sprintf("sim: resuming dead process %q", p.name))
+	}
+	p.resume <- struct{}{}
+	<-p.parked
+	if p.panicV != nil {
+		panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, p.panicV))
+	}
+}
+
+// park suspends the calling process until the engine resumes it.
+func (p *Proc) park() {
+	p.parked <- struct{}{}
+	<-p.resume
+}
+
+// Wait suspends the process for d seconds of virtual time.
+func (p *Proc) Wait(d float64) {
+	p.eng.Schedule(d, func() { p.eng.switchTo(p) })
+	p.park()
+}
+
+// WaitUntil suspends the process until absolute virtual time t. If t is
+// in the past it is a no-op.
+func (p *Proc) WaitUntil(t float64) {
+	if t <= p.eng.now {
+		return
+	}
+	p.eng.At(t, func() { p.eng.switchTo(p) })
+	p.park()
+}
+
+// Queue is an unbounded FIFO connecting processes (and plain events) to
+// processes. Push never blocks; Pop suspends the calling process until an
+// item is available. Wakeups are funnelled through the event queue so
+// ordering stays deterministic.
+type Queue struct {
+	eng     *Engine
+	items   []any
+	waiters []*Proc
+}
+
+// NewQueue returns an empty queue bound to e.
+func NewQueue(e *Engine) *Queue { return &Queue{eng: e} }
+
+// Len reports the number of queued items.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Push appends v and wakes the oldest waiting process, if any. It may be
+// called from event callbacks or from process context.
+func (q *Queue) Push(v any) {
+	q.items = append(q.items, v)
+	if len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[:copy(q.waiters, q.waiters[1:])]
+		q.eng.Schedule(0, func() { q.eng.switchTo(w) })
+	}
+}
+
+// Pop removes and returns the head item, suspending p until one exists.
+func (q *Queue) Pop(p *Proc) any {
+	for len(q.items) == 0 {
+		q.waiters = append(q.waiters, p)
+		p.park()
+	}
+	v := q.items[0]
+	q.items = q.items[:copy(q.items, q.items[1:])]
+	return v
+}
+
+// TryPop removes and returns the head item without blocking; ok is false
+// if the queue is empty.
+func (q *Queue) TryPop() (v any, ok bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	v = q.items[0]
+	q.items = q.items[:copy(q.items, q.items[1:])]
+	return v, true
+}
+
+// Resource is a counted semaphore over virtual time: Acquire suspends the
+// caller while no units are free. It models contended serial resources
+// such as a NIC DMA engine or a shared link injection port.
+type Resource struct {
+	eng     *Engine
+	free    int
+	waiters []*Proc
+}
+
+// NewResource returns a resource with capacity units available.
+func NewResource(e *Engine, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{eng: e, free: capacity}
+}
+
+// Free reports currently available units.
+func (r *Resource) Free() int { return r.free }
+
+// Acquire takes one unit, suspending p until one is available. The
+// queue is strictly FIFO: a process releasing and immediately
+// re-acquiring goes behind already-queued waiters, so long chunked
+// transfers cannot starve competing flows.
+func (r *Resource) Acquire(p *Proc) {
+	if r.free > 0 && len(r.waiters) == 0 {
+		r.free--
+		return
+	}
+	r.waiters = append(r.waiters, p)
+	p.park()
+	// Woken by Release, which handed the unit to us directly.
+}
+
+// Release returns one unit: if processes are queued, the unit passes
+// directly to the oldest waiter (it owns the resource when it wakes);
+// otherwise the free count grows.
+func (r *Resource) Release() {
+	if len(r.waiters) > 0 {
+		w := r.waiters[0]
+		r.waiters = r.waiters[:copy(r.waiters, r.waiters[1:])]
+		r.eng.Schedule(0, func() { r.eng.switchTo(w) })
+		return
+	}
+	r.free++
+}

@@ -1,0 +1,55 @@
+package soc
+
+// This file models the paper's forward projection (§3.1.2, Figure 2b,
+// §7): an ARMv8 quad-core mobile SoC at 2 GHz. ARMv8 makes FP64
+// compulsory *in the NEON SIMD unit*, so a core with the same
+// microarchitecture as the Cortex-A15 doubles its FP64 peak at equal
+// frequency — the "4-core ARMv8 @ 2GHz" point the paper plots at
+// 32 GFLOPS. It is not one of the four measured platforms; it exists
+// so the projection experiments (harness id "projection") can ask what
+// the paper's trend implies.
+
+// CortexA57 is the ARMv8 successor of the Cortex-A15 used in the
+// projection: same pipeline philosophy, FP64-capable 2-wide NEON FMA.
+const CortexA57 ArchID = "Cortex-A57"
+
+func init() {
+	microarchs[CortexA57] = &Microarch{
+		ID:                   CortexA57,
+		FlopsPerCycle:        4.0, // 2-wide FP64 NEON FMA
+		ScalarFlopsPerCycle:  2.0,
+		SustainedFrac:        0.45, // A15-like issue behaviour (§3.1.2)
+		ILPFactor:            0.66,
+		MemOverlap:           0.60,
+		MaxOutstandingMisses: 16,
+		BWFreqSens:           0.60,
+	}
+}
+
+// ARMv8Quad returns the projected quad-core ARMv8 mobile SoC at 2 GHz:
+// 32 GFLOPS FP64 peak, a 2015-class dual-channel memory system, and —
+// following the §6.3 wish list — still without ECC (the projection
+// keeps the mobile design point; see internal/reliability for what
+// that costs).
+func ARMv8Quad() *Platform {
+	return &Platform{
+		Name:    "ARMv8-quad",
+		SoC:     "projected 4x ARMv8 @ 2 GHz",
+		Board:   "projection (paper Figure 2b final point)",
+		Arch:    Arch(CortexA57),
+		Cores:   4,
+		Threads: 4,
+		FreqGHz: []float64{0.6, 1.0, 1.5, 2.0},
+		L1KB:    32, L2KB: 2048, L2Shared: true,
+		Mem: MemorySystem{
+			Channels: 2, WidthBits: 64, FreqMHz: 933, PeakGBs: 14.9,
+			DRAMMB: 4096, DRAMType: "LPDDR3-1866",
+			StreamEffSingle: 0.30, StreamEffMulti: 0.55,
+		},
+		NIC:      AttachIntegrated,
+		EthMbps:  []int{10000},
+		Power:    PowerModel{IdleW: 3.60, CoreDynA: 0.10, CoreDynB: 0.08},
+		PriceUSD: 35,
+		Mobile:   true,
+	}
+}

@@ -1,0 +1,42 @@
+package soc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestARMv8QuadMatchesFig2bPoint(t *testing.T) {
+	// Figure 2b's final point: "4-core ARMv8 @ 2GHz" at 32 GFLOPS.
+	p := ARMv8Quad()
+	if got := p.PeakGFLOPSMax(); math.Abs(got-32) > 1e-9 {
+		t.Errorf("ARMv8 quad peak = %v GFLOPS, want 32", got)
+	}
+	if p.Cores != 4 || p.MaxFreq() != 2.0 {
+		t.Errorf("shape: %d cores @ %v GHz", p.Cores, p.MaxFreq())
+	}
+}
+
+func TestARMv8DoublesA15PerClockPeak(t *testing.T) {
+	// §3.1.2: "ARMv8 processors, using the same micro-architecture as
+	// the ARMv7 Cortex-A15, would have double the FP-64 performance at
+	// the same frequency".
+	if Arch(CortexA57).FlopsPerCycle != 2*Arch(CortexA15).FlopsPerCycle {
+		t.Error("ARMv8 per-clock FP64 peak must double the A15's")
+	}
+}
+
+func TestARMv8StillMobileNoECC(t *testing.T) {
+	p := ARMv8Quad()
+	if !p.Mobile || p.Mem.ECCCapable {
+		t.Error("the projection keeps the mobile design point (no ECC)")
+	}
+}
+
+func TestARMv8NotInMeasuredCatalogue(t *testing.T) {
+	// All() is the paper's Table 1; the projection must not leak in.
+	for _, p := range All() {
+		if p.Name == "ARMv8-quad" {
+			t.Error("projection platform in the measured catalogue")
+		}
+	}
+}

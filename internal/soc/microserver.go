@@ -1,0 +1,98 @@
+package soc
+
+// This file models the §2/§6.3 "server SoC" path: ARM processor IP
+// integrated into SoCs aimed at micro-servers rather than phones.
+// These parts already carry the features the paper's §6.3 wish list
+// demands from mobile SoCs — ECC-capable memory controllers,
+// integrated 10 GbE, even protocol off-load engines — at the cost of
+// lower volumes ("unless these ARM server products achieve a large
+// enough market share, they may follow the same path as GreenDestiny
+// and MegaProto"). Having them in the catalogue lets experiments
+// compare the mobile and micro-server routes into HPC.
+
+// CalxedaECX1000 returns Calxeda's EnergyCore ECX-1000: four
+// Cortex-A9 cores at 1.4 GHz, ECC memory, five integrated 10 GbE
+// links, SATA — a data-centre SoC built from mobile processor IP.
+func CalxedaECX1000() *Platform {
+	return &Platform{
+		Name:    "ECX-1000",
+		SoC:     "Calxeda EnergyCore ECX-1000",
+		Board:   "EnergyCard (4-node)",
+		Arch:    Arch(CortexA9),
+		Cores:   4,
+		Threads: 4,
+		FreqGHz: []float64{0.8, 1.1, 1.4},
+		L1KB:    32, L2KB: 4096, L2Shared: true,
+		Mem: MemorySystem{
+			Channels: 1, WidthBits: 64, FreqMHz: 667, PeakGBs: 5.3,
+			DRAMMB: 4096, DRAMType: "DDR3L-1333 ECC",
+			ECCCapable:      true,
+			StreamEffSingle: 0.25, StreamEffMulti: 0.40,
+		},
+		NIC:      AttachIntegrated,
+		EthMbps:  []int{10000, 10000, 10000, 10000, 10000},
+		Power:    PowerModel{IdleW: 2.2, CoreDynA: 0.20, CoreDynB: 0.20},
+		PriceUSD: 150, // server part: low volume, higher price
+		Mobile:   false,
+	}
+}
+
+// XGene returns Applied Micro's X-Gene: eight custom ARMv8 (64-bit)
+// cores with four 10 GbE links — the first server-class 64-bit ARM
+// SoC the paper cites.
+func XGene() *Platform {
+	return &Platform{
+		Name:    "X-Gene",
+		SoC:     "Applied Micro X-Gene",
+		Board:   "X-C1 development kit",
+		Arch:    Arch(CortexA57), // custom core, A57-class in the model
+		Cores:   8,
+		Threads: 8,
+		FreqGHz: []float64{1.6, 2.0, 2.4},
+		L1KB:    32, L2KB: 8192, L2Shared: true,
+		Mem: MemorySystem{
+			Channels: 4, WidthBits: 64, FreqMHz: 800, PeakGBs: 51.2,
+			DRAMMB: 16384, DRAMType: "DDR3-1600 ECC",
+			ECCCapable:      true,
+			StreamEffSingle: 0.20, StreamEffMulti: 0.55,
+		},
+		NIC:      AttachIntegrated,
+		EthMbps:  []int{10000, 10000, 10000, 10000},
+		Power:    PowerModel{IdleW: 18, CoreDynA: 0.5, CoreDynB: 0.2},
+		PriceUSD: 500,
+		Mobile:   false,
+	}
+}
+
+// KeyStoneII returns TI's KeyStone II (AM5K2E04): quad Cortex-A15
+// with an ECC-capable memory controller and a network protocol
+// off-load engine — the §4.1 example of hardware support that removes
+// the TCP/IP software overhead dominating mobile-SoC latency.
+func KeyStoneII() *Platform {
+	return &Platform{
+		Name:    "KeyStone-II",
+		SoC:     "TI AM5K2E04 KeyStone II",
+		Board:   "EVMK2E",
+		Arch:    Arch(CortexA15),
+		Cores:   4,
+		Threads: 4,
+		FreqGHz: []float64{0.8, 1.0, 1.2, 1.4},
+		L1KB:    32, L2KB: 4096, L2Shared: true,
+		Mem: MemorySystem{
+			Channels: 1, WidthBits: 64, FreqMHz: 800, PeakGBs: 12.8,
+			DRAMMB: 8192, DRAMType: "DDR3-1600 ECC",
+			ECCCapable:      true,
+			StreamEffSingle: 0.22, StreamEffMulti: 0.50,
+		},
+		NIC:      AttachIntegrated,
+		EthMbps:  []int{10000, 1000},
+		Power:    PowerModel{IdleW: 6, CoreDynA: 0.4, CoreDynB: 0.2},
+		PriceUSD: 330,
+		Mobile:   false,
+	}
+}
+
+// MicroServers returns the §2 server-SoC catalogue.
+func MicroServers() []*Platform {
+	return []*Platform{CalxedaECX1000(), XGene(), KeyStoneII()}
+}

@@ -1,0 +1,83 @@
+package soc
+
+import "testing"
+
+func TestMicroServersHaveECC(t *testing.T) {
+	// §2/§6.3: the server SoCs integrate exactly what mobile parts
+	// lack — "the Calxeda EnergyCore, and the TI Keystone II, integrate
+	// ECC-capable memory controllers".
+	for _, p := range MicroServers() {
+		if !p.Mem.ECCCapable {
+			t.Errorf("%s: server SoC without ECC", p.Name)
+		}
+		if p.Mobile {
+			t.Errorf("%s: server SoC flagged mobile", p.Name)
+		}
+	}
+}
+
+func TestMicroServersIntegrate10GbE(t *testing.T) {
+	// "the EnergyCore and X-Gene also integrate multiple 10 Gb/s
+	// Ethernet interfaces".
+	for _, name := range []string{"ECX-1000", "X-Gene"} {
+		var p *Platform
+		for _, c := range MicroServers() {
+			if c.Name == name {
+				p = c
+			}
+		}
+		if p == nil {
+			t.Fatalf("%s missing from catalogue", name)
+		}
+		tenGbE := 0
+		for _, m := range p.EthMbps {
+			if m >= 10000 {
+				tenGbE++
+			}
+		}
+		if tenGbE < 2 {
+			t.Errorf("%s: only %d 10GbE links", name, tenGbE)
+		}
+		if p.NIC != AttachIntegrated {
+			t.Errorf("%s: NIC not integrated", name)
+		}
+	}
+}
+
+func TestCalxedaShape(t *testing.T) {
+	p := CalxedaECX1000()
+	if p.Cores != 4 || p.Arch.ID != CortexA9 {
+		t.Errorf("ECX-1000 must be a quad Cortex-A9: %v", p)
+	}
+	if len(p.EthMbps) != 5 {
+		t.Errorf("ECX-1000 has five 10GbE links, got %d", len(p.EthMbps))
+	}
+}
+
+func TestXGeneIsARMv8Octo(t *testing.T) {
+	p := XGene()
+	if p.Cores != 8 || p.Arch.ID != CortexA57 {
+		t.Errorf("X-Gene must be 8x ARMv8-class cores: %v", p)
+	}
+}
+
+func TestServerPartsPricierThanMobile(t *testing.T) {
+	// §2's economic argument: low-volume server SoCs cannot match
+	// mobile pricing.
+	tegra := Tegra2()
+	for _, p := range MicroServers() {
+		if p.PriceUSD <= tegra.PriceUSD {
+			t.Errorf("%s priced at mobile level", p.Name)
+		}
+	}
+}
+
+func TestMicroServersNotInTable1(t *testing.T) {
+	for _, p := range All() {
+		for _, m := range MicroServers() {
+			if p.Name == m.Name {
+				t.Errorf("%s leaked into the measured catalogue", m.Name)
+			}
+		}
+	}
+}

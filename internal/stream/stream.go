@@ -1,0 +1,140 @@
+// Package stream reproduces the STREAM memory-bandwidth benchmark
+// (McCalpin) used for Figure 5: the Copy, Scale, Add and Triad loops,
+// both as real runnable Go code and as a bandwidth model over the
+// platform catalogue.
+package stream
+
+import (
+	"fmt"
+
+	"mobilehpc/internal/perf"
+	"mobilehpc/internal/soc"
+)
+
+// Op is one of the four STREAM operations.
+type Op int
+
+// The four STREAM loops, in canonical order.
+const (
+	Copy  Op = iota // c = a           (2 words/elem)
+	Scale           // b = q*c         (2 words/elem)
+	Add             // c = a + b       (3 words/elem)
+	Triad           // a = b + q*c     (3 words/elem)
+)
+
+// Ops lists all four operations in order.
+var Ops = []Op{Copy, Scale, Add, Triad}
+
+func (o Op) String() string {
+	switch o {
+	case Copy:
+		return "Copy"
+	case Scale:
+		return "Scale"
+	case Add:
+		return "Add"
+	case Triad:
+		return "Triad"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// BytesPerElem returns DRAM traffic per vector element for the loop
+// (8-byte doubles; write-allocate traffic is not counted, matching the
+// standard STREAM accounting).
+func (o Op) BytesPerElem() int {
+	switch o {
+	case Copy, Scale:
+		return 16
+	default:
+		return 24
+	}
+}
+
+// opEff is the achievable-bandwidth factor of each loop relative to
+// Copy: the two-operand kernels stream slightly faster than the
+// three-operand ones on every platform in the paper's Figure 5.
+func (o Op) opEff() float64 {
+	switch o {
+	case Copy:
+		return 1.0
+	case Scale:
+		return 0.98
+	case Add:
+		return 0.95
+	case Triad:
+		return 0.96
+	}
+	return 1.0
+}
+
+// Result is the measured (modelled) bandwidth for one operation.
+type Result struct {
+	Op   Op
+	GBs  float64 // achieved bandwidth
+	Peak float64 // platform peak for reference
+}
+
+// Efficiency returns achieved/peak.
+func (r Result) Efficiency() float64 { return r.GBs / r.Peak }
+
+// Bandwidth returns the modelled STREAM bandwidth of platform p at its
+// maximum frequency using either one core or all cores.
+func Bandwidth(p *soc.Platform, op Op, multicore bool) Result {
+	f := p.MaxFreq()
+	var bw float64
+	if multicore {
+		bw = perf.MultiCoreBW(p, f, perf.Streaming)
+	} else {
+		bw = perf.SingleCoreBW(p, f, perf.Streaming)
+	}
+	return Result{Op: op, GBs: bw * op.opEff() / 1e9, Peak: p.Mem.PeakGBs}
+}
+
+// Table returns all four operations for p (Figure 5 column set).
+func Table(p *soc.Platform, multicore bool) []Result {
+	out := make([]Result, len(Ops))
+	for i, op := range Ops {
+		out[i] = Bandwidth(p, op, multicore)
+	}
+	return out
+}
+
+// RunNative executes the actual STREAM loop over n elements `reps`
+// times and returns a checksum — the real-code counterpart used by
+// tests and benchmarks to validate the loop structure (its wall-clock
+// throughput reflects the host machine, not the modelled platforms).
+func RunNative(op Op, n, reps int) float64 {
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	for i := range a {
+		a[i] = 1.0
+		b[i] = 2.0
+		c[i] = 0.0
+	}
+	const q = 3.0
+	for r := 0; r < reps; r++ {
+		switch op {
+		case Copy:
+			copy(c, a)
+		case Scale:
+			for i := range b {
+				b[i] = q * c[i]
+			}
+		case Add:
+			for i := range c {
+				c[i] = a[i] + b[i]
+			}
+		case Triad:
+			for i := range a {
+				a[i] = b[i] + q*c[i]
+			}
+		}
+	}
+	s := 0.0
+	for i := 0; i < n; i += 97 {
+		s += a[i] + b[i] + c[i]
+	}
+	return s
+}

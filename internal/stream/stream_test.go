@@ -1,0 +1,99 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"mobilehpc/internal/soc"
+)
+
+func TestFig5MulticoreEfficiencies(t *testing.T) {
+	// The paper reports multicore STREAM efficiency vs peak: 62 %
+	// (Tegra 2), 27 % (Tegra 3), 52 % (Exynos 5250), 57 % (i7).
+	cases := []struct {
+		p    *soc.Platform
+		want float64
+	}{
+		{soc.Tegra2(), 0.62},
+		{soc.Tegra3(), 0.27},
+		{soc.Exynos5250(), 0.52},
+		{soc.CoreI7(), 0.57},
+	}
+	for _, c := range cases {
+		got := Bandwidth(c.p, Copy, true).Efficiency()
+		if math.Abs(got-c.want) > 0.02 {
+			t.Errorf("%s: multicore Copy efficiency = %.3f, want %.2f",
+				c.p.Name, got, c.want)
+		}
+	}
+}
+
+func TestFig5ExynosVsTegraGap(t *testing.T) {
+	// §3.2: "a significant improvement in memory bandwidth, of about
+	// 4.5 times, between the Tegra platforms and the Exynos 5250".
+	tegra := Bandwidth(soc.Tegra2(), Copy, true).GBs
+	exynos := Bandwidth(soc.Exynos5250(), Copy, true).GBs
+	ratio := exynos / tegra
+	if ratio < 3.5 || ratio > 5.5 {
+		t.Errorf("Exynos/Tegra multicore bandwidth ratio = %.2f, want ~4.5", ratio)
+	}
+}
+
+func TestSingleLessThanMulti(t *testing.T) {
+	for _, p := range soc.All() {
+		for _, op := range Ops {
+			s := Bandwidth(p, op, false).GBs
+			m := Bandwidth(p, op, true).GBs
+			if s > m {
+				t.Errorf("%s %v: single-core %.2f > multicore %.2f", p.Name, op, s, m)
+			}
+		}
+	}
+}
+
+func TestTableOrderAndCount(t *testing.T) {
+	rs := Table(soc.Tegra2(), true)
+	if len(rs) != 4 {
+		t.Fatalf("table has %d rows", len(rs))
+	}
+	for i, op := range Ops {
+		if rs[i].Op != op {
+			t.Errorf("row %d op = %v, want %v", i, rs[i].Op, op)
+		}
+		if rs[i].GBs <= 0 || rs[i].GBs > rs[i].Peak {
+			t.Errorf("row %d bandwidth %v out of (0, peak]", i, rs[i].GBs)
+		}
+	}
+}
+
+func TestBytesPerElem(t *testing.T) {
+	if Copy.BytesPerElem() != 16 || Triad.BytesPerElem() != 24 {
+		t.Error("STREAM byte accounting wrong")
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	names := []string{"Copy", "Scale", "Add", "Triad"}
+	for i, op := range Ops {
+		if op.String() != names[i] {
+			t.Errorf("op %d String = %q", i, op.String())
+		}
+	}
+}
+
+func TestRunNativeChecksums(t *testing.T) {
+	// Copy: c=a=1 -> s over stride of a+b+c = 1+2+1 = 4 per sample.
+	n := 971
+	samples := (n + 96) / 97
+	if got := RunNative(Copy, n, 1); math.Abs(got-float64(samples)*4) > 1e-9 {
+		t.Errorf("Copy checksum = %v, want %v", got, float64(samples)*4)
+	}
+	// Triad: a = b + q*c = 2 + 0 = 2 -> 2+2+0 = 4 per sample.
+	if got := RunNative(Triad, n, 1); math.Abs(got-float64(samples)*4) > 1e-9 {
+		t.Errorf("Triad checksum = %v", got)
+	}
+	// Determinism across reps.
+	if RunNative(Add, n, 3) != RunNative(Add, n, 3) {
+		t.Error("RunNative not deterministic")
+	}
+}

@@ -1,0 +1,90 @@
+package taskflow
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Execute actually runs the graph's work on the host: fns[taskID] is
+// executed on one of `workers` goroutines once all of the task's
+// dependencies have completed — Nanos++ behaviour with real closures
+// instead of modelled durations. Tasks with no registered closure are
+// treated as no-ops (e.g. pure-timing communication tasks). Execute
+// panics on invalid worker counts and propagates the first task panic.
+func (g *Graph) Execute(workers int, fns map[int]func()) error {
+	if workers < 1 {
+		panic("taskflow: need at least one worker")
+	}
+	for id := range fns {
+		if id < 0 || id >= len(g.tasks) {
+			return fmt.Errorf("taskflow: closure for unknown task %d", id)
+		}
+	}
+	n := len(g.tasks)
+	indeg := make([]int, n)
+	succ := make([][]int, n)
+	for _, t := range g.tasks {
+		indeg[t.ID] = len(t.deps)
+		for _, d := range t.deps {
+			succ[d] = append(succ[d], t.ID)
+		}
+	}
+
+	var mu sync.Mutex
+	ready := make(chan int, n)
+	for i, d := range indeg {
+		if d == 0 {
+			ready <- i
+		}
+	}
+	remaining := n
+	done := make(chan struct{})
+	var firstPanic any
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case id := <-ready:
+					func() {
+						defer func() {
+							if r := recover(); r != nil {
+								mu.Lock()
+								if firstPanic == nil {
+									firstPanic = r
+								}
+								mu.Unlock()
+							}
+						}()
+						if fn := fns[id]; fn != nil {
+							fn()
+						}
+					}()
+					mu.Lock()
+					for _, s := range succ[id] {
+						indeg[s]--
+						if indeg[s] == 0 {
+							ready <- s
+						}
+					}
+					remaining--
+					fin := remaining == 0
+					mu.Unlock()
+					if fin {
+						close(done)
+					}
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstPanic != nil {
+		return fmt.Errorf("taskflow: task panicked: %v", firstPanic)
+	}
+	return nil
+}

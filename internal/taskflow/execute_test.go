@@ -1,0 +1,159 @@
+package taskflow
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestExecuteRespectsDependencies(t *testing.T) {
+	g := NewGraph()
+	a := g.Add("a", 0, nil, []string{"x"}, false)
+	b := g.Add("b", 0, []string{"x"}, []string{"y"}, false)
+	c := g.Add("c", 0, []string{"y"}, nil, false)
+	var order []int
+	var mu sync.Mutex
+	rec := func(id int) func() {
+		return func() {
+			mu.Lock()
+			order = append(order, id)
+			mu.Unlock()
+		}
+	}
+	if err := g.Execute(4, map[int]func(){
+		a.ID: rec(a.ID), b.ID: rec(b.ID), c.ID: rec(c.ID),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != a.ID || order[1] != b.ID || order[2] != c.ID {
+		t.Errorf("execution order = %v", order)
+	}
+}
+
+func TestExecuteRunsEveryTaskOnce(t *testing.T) {
+	g := NewGraph()
+	const n = 40
+	var counts [n]int32
+	fns := map[int]func(){}
+	for i := 0; i < n; i++ {
+		tk := g.Add("t", 0, nil, nil, false)
+		id := i
+		fns[tk.ID] = func() { atomic.AddInt32(&counts[id], 1) }
+	}
+	if err := g.Execute(8, fns); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Errorf("task %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestExecuteComputesRealResult(t *testing.T) {
+	// A reduction tree over real data: leaves sum slices, the root
+	// combines — real work through the dependency machinery.
+	g := NewGraph()
+	data := make([]float64, 1000)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	partial := make([]float64, 4)
+	fns := map[int]func(){}
+	for p := 0; p < 4; p++ {
+		tk := g.Add("leaf", 0, nil, []string{string(rune('a' + p))}, false)
+		p := p
+		fns[tk.ID] = func() {
+			s := 0.0
+			for _, v := range data[p*250 : (p+1)*250] {
+				s += v
+			}
+			partial[p] = s
+		}
+	}
+	var total float64
+	root := g.Add("root", 0, []string{"a", "b", "c", "d"}, nil, false)
+	fns[root.ID] = func() {
+		for _, v := range partial {
+			total += v
+		}
+	}
+	if err := g.Execute(4, fns); err != nil {
+		t.Fatal(err)
+	}
+	if total != 499500 {
+		t.Errorf("total = %v, want 499500", total)
+	}
+}
+
+func TestExecutePanicsPropagate(t *testing.T) {
+	g := NewGraph()
+	tk := g.Add("boom", 0, nil, nil, false)
+	err := g.Execute(2, map[int]func(){tk.ID: func() { panic("kaboom") }})
+	if err == nil {
+		t.Error("task panic not reported")
+	}
+}
+
+func TestExecuteUnknownTaskClosure(t *testing.T) {
+	g := NewGraph()
+	g.Add("a", 0, nil, nil, false)
+	if err := g.Execute(1, map[int]func(){7: func() {}}); err == nil {
+		t.Error("unknown task id accepted")
+	}
+}
+
+func TestExecuteMissingClosuresAreNoops(t *testing.T) {
+	g := NewGraph()
+	g.Add("silent", 0, nil, []string{"x"}, false)
+	tk := g.Add("after", 0, []string{"x"}, nil, false)
+	ran := false
+	if err := g.Execute(2, map[int]func(){tk.ID: func() { ran = true }}); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("dependent task never ran")
+	}
+}
+
+// Property: for random graphs, execution order always respects
+// dependencies regardless of worker count.
+func TestExecuteOrderProperty(t *testing.T) {
+	keys := []string{"x", "y", "z"}
+	f := func(spec []uint8, w8 uint8) bool {
+		workers := int(w8)%6 + 1
+		g := NewGraph()
+		for i, s := range spec {
+			if i > 20 {
+				break
+			}
+			g.Add("t", 0, []string{keys[int(s)%3]}, []string{keys[int(s/3)%3]}, false)
+		}
+		n := len(g.Tasks())
+		if n == 0 {
+			return true
+		}
+		pos := make([]int32, n)
+		var ctr int32
+		fns := map[int]func(){}
+		for i := 0; i < n; i++ {
+			i := i
+			fns[i] = func() { pos[i] = atomic.AddInt32(&ctr, 1) }
+		}
+		if err := g.Execute(workers, fns); err != nil {
+			return false
+		}
+		for _, tk := range g.Tasks() {
+			for _, d := range g.Deps(tk.ID) {
+				if pos[d] >= pos[tk.ID] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,220 @@
+// Package taskflow is the reproduction's OmpSs/Nanos++: the task-based
+// dataflow programming model of the paper's own group, present in the
+// deployed software stack (Figure 8: "OmpSs compiler / Mercurium",
+// "Nanos++") and invoked by §6.3 as the cure for slow interconnects —
+// "these overheads can be alleviated to some extent using
+// latency-hiding programming techniques and runtimes [10]".
+//
+// A Graph holds tasks with data dependencies (detected from declared
+// in/out accesses, exactly as OmpSs infers them from pragma clauses);
+// Schedule executes it on a machine of w workers in virtual time with
+// earliest-start list scheduling. Communication tasks can be marked as
+// not occupying a worker (they run on the NIC/DMA), which is precisely
+// how a dataflow runtime hides message latency behind computation —
+// quantified by the "ompss" experiment against the equivalent BSP
+// (barrier-separated) schedule.
+package taskflow
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Task is one unit of work with declared data accesses.
+type Task struct {
+	ID   int
+	Name string
+	// Dur is the task's execution time (virtual seconds).
+	Dur float64
+	// In and Out are accessed data objects (opaque keys). A task
+	// depends on the last previous writer of each In and Out key, and
+	// on all previous readers of each Out key (true/anti/output deps,
+	// the OmpSs rules).
+	In, Out []string
+	// Comm marks a communication task: it occupies no worker (the
+	// transfer proceeds on the NIC while cores compute).
+	Comm bool
+
+	// Filled by Schedule.
+	Start, End float64
+
+	deps []int // resolved predecessor IDs
+}
+
+// Graph is a task graph under construction.
+type Graph struct {
+	tasks []*Task
+	// lastWriter and readers track dependency resolution per data key.
+	lastWriter map[string]int
+	readers    map[string][]int
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{lastWriter: map[string]int{}, readers: map[string][]int{}}
+}
+
+// Add appends a task, resolving its dependencies from the declared
+// accesses against all previously added tasks (program order, as a
+// sequential OmpSs program would). It returns the task for inspection.
+func (g *Graph) Add(name string, dur float64, in, out []string, comm bool) *Task {
+	if dur < 0 {
+		panic(fmt.Sprintf("taskflow: negative duration for %q", name))
+	}
+	t := &Task{ID: len(g.tasks), Name: name, Dur: dur, In: in, Out: out, Comm: comm}
+	seen := map[int]bool{}
+	dep := func(id int) {
+		if id >= 0 && id != t.ID && !seen[id] {
+			seen[id] = true
+			t.deps = append(t.deps, id)
+		}
+	}
+	for _, k := range in {
+		if w, ok := g.lastWriter[k]; ok {
+			dep(w) // true dependency (read-after-write)
+		}
+	}
+	for _, k := range out {
+		if w, ok := g.lastWriter[k]; ok {
+			dep(w) // output dependency (write-after-write)
+		}
+		for _, r := range g.readers[k] {
+			dep(r) // anti dependency (write-after-read)
+		}
+	}
+	// Update access tracking.
+	for _, k := range in {
+		g.readers[k] = append(g.readers[k], t.ID)
+	}
+	for _, k := range out {
+		g.lastWriter[k] = t.ID
+		g.readers[k] = nil
+	}
+	g.tasks = append(g.tasks, t)
+	return t
+}
+
+// Tasks returns the graph's tasks in creation order.
+func (g *Graph) Tasks() []*Task { return g.tasks }
+
+// Deps returns a copy of a task's resolved predecessor IDs.
+func (g *Graph) Deps(id int) []int {
+	return append([]int(nil), g.tasks[id].deps...)
+}
+
+// Result summarises a schedule.
+type Result struct {
+	Makespan     float64
+	CriticalPath float64
+	TotalWork    float64 // worker-occupying work only
+	// Utilisation = TotalWork / (workers * Makespan).
+	Utilisation float64
+}
+
+// Schedule executes the graph on w workers with earliest-start list
+// scheduling (ready tasks start as soon as a worker frees, in ready-
+// time order): the Nanos++ behaviour. Comm tasks start as soon as
+// their dependencies allow, without occupying a worker. Task Start/End
+// fields are filled in. Panics on w < 1.
+func (g *Graph) Schedule(w int) Result {
+	if w < 1 {
+		panic("taskflow: need at least one worker")
+	}
+	n := len(g.tasks)
+	indeg := make([]int, n)
+	succ := make([][]int, n)
+	for _, t := range g.tasks {
+		indeg[t.ID] = len(t.deps)
+		for _, d := range t.deps {
+			succ[d] = append(succ[d], t.ID)
+		}
+	}
+	ready := make([]float64, n) // time all deps complete
+	var queue []int
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+		_ = d
+	}
+	workers := make([]float64, w) // next free time per worker
+	done := 0
+	var makespan, total float64
+	for len(queue) > 0 {
+		// Pick the ready task with the earliest ready time (FIFO tie).
+		sort.SliceStable(queue, func(a, b int) bool {
+			return ready[queue[a]] < ready[queue[b]]
+		})
+		id := queue[0]
+		queue = queue[1:]
+		t := g.tasks[id]
+		start := ready[id]
+		if !t.Comm {
+			// Earliest-free worker.
+			wi := 0
+			for i := 1; i < w; i++ {
+				if workers[i] < workers[wi] {
+					wi = i
+				}
+			}
+			if workers[wi] > start {
+				start = workers[wi]
+			}
+			workers[wi] = start + t.Dur
+			total += t.Dur
+		}
+		t.Start = start
+		t.End = start + t.Dur
+		if t.End > makespan {
+			makespan = t.End
+		}
+		for _, s := range succ[id] {
+			if ready[s] < t.End {
+				ready[s] = t.End
+			}
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+		done++
+	}
+	if done != n {
+		panic("taskflow: dependency cycle (impossible with program-order construction)")
+	}
+	res := Result{Makespan: makespan, CriticalPath: g.criticalPath(), TotalWork: total}
+	if makespan > 0 {
+		res.Utilisation = total / (float64(w) * makespan)
+	}
+	return res
+}
+
+// criticalPath returns the longest dependency chain length in seconds.
+func (g *Graph) criticalPath() float64 {
+	n := len(g.tasks)
+	memo := make([]float64, n)
+	for i := range memo {
+		memo[i] = -1
+	}
+	var longest func(id int) float64
+	longest = func(id int) float64 {
+		if memo[id] >= 0 {
+			return memo[id]
+		}
+		best := 0.0
+		for _, d := range g.tasks[id].deps {
+			if v := longest(d); v > best {
+				best = v
+			}
+		}
+		memo[id] = best + g.tasks[id].Dur
+		return memo[id]
+	}
+	cp := 0.0
+	for i := 0; i < n; i++ {
+		if v := longest(i); v > cp {
+			cp = v
+		}
+	}
+	return cp
+}

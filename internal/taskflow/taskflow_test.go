@@ -1,0 +1,200 @@
+package taskflow
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestIndependentTasksRunConcurrently(t *testing.T) {
+	g := NewGraph()
+	for i := 0; i < 4; i++ {
+		g.Add("t", 1.0, nil, nil, false)
+	}
+	r := g.Schedule(4)
+	if r.Makespan != 1.0 {
+		t.Errorf("makespan = %v, want 1 (all concurrent)", r.Makespan)
+	}
+	if r.Utilisation != 1.0 {
+		t.Errorf("utilisation = %v", r.Utilisation)
+	}
+}
+
+func TestTrueDependencySerialises(t *testing.T) {
+	g := NewGraph()
+	g.Add("w", 1.0, nil, []string{"x"}, false)
+	g.Add("r", 1.0, []string{"x"}, nil, false)
+	r := g.Schedule(4)
+	if r.Makespan != 2.0 {
+		t.Errorf("RAW chain makespan = %v, want 2", r.Makespan)
+	}
+}
+
+func TestAntiAndOutputDependencies(t *testing.T) {
+	g := NewGraph()
+	a := g.Add("read", 1.0, []string{"x"}, nil, false)
+	b := g.Add("overwrite", 1.0, nil, []string{"x"}, false)  // WAR on a
+	c := g.Add("overwrite2", 1.0, nil, []string{"x"}, false) // WAW on b
+	if len(g.Deps(b.ID)) != 1 || g.Deps(b.ID)[0] != a.ID {
+		t.Errorf("anti dep missing: %v", g.Deps(b.ID))
+	}
+	if len(g.Deps(c.ID)) != 1 || g.Deps(c.ID)[0] != b.ID {
+		t.Errorf("output dep missing: %v", g.Deps(c.ID))
+	}
+	if r := g.Schedule(8); r.Makespan != 3.0 {
+		t.Errorf("fully serialised chain makespan = %v, want 3", r.Makespan)
+	}
+}
+
+func TestDiamond(t *testing.T) {
+	g := NewGraph()
+	g.Add("src", 1, nil, []string{"a", "b"}, false)
+	g.Add("left", 2, []string{"a"}, []string{"l"}, false)
+	g.Add("right", 3, []string{"b"}, []string{"r"}, false)
+	g.Add("join", 1, []string{"l", "r"}, nil, false)
+	r := g.Schedule(2)
+	// Critical path: src(1) + right(3) + join(1) = 5.
+	if r.CriticalPath != 5 {
+		t.Errorf("critical path = %v, want 5", r.CriticalPath)
+	}
+	if r.Makespan != 5 {
+		t.Errorf("makespan = %v, want 5 on 2 workers", r.Makespan)
+	}
+}
+
+func TestSingleWorkerSerialises(t *testing.T) {
+	g := NewGraph()
+	for i := 0; i < 5; i++ {
+		g.Add("t", 2.0, nil, nil, false)
+	}
+	if r := g.Schedule(1); r.Makespan != 10 {
+		t.Errorf("1-worker makespan = %v, want 10", r.Makespan)
+	}
+}
+
+func TestCommTasksDoNotOccupyWorkers(t *testing.T) {
+	// One worker, one long comm task, one compute task, independent:
+	// they overlap fully.
+	g := NewGraph()
+	g.Add("halo", 5.0, nil, nil, true)
+	g.Add("compute", 5.0, nil, nil, false)
+	if r := g.Schedule(1); r.Makespan != 5 {
+		t.Errorf("comm did not overlap: makespan = %v, want 5", r.Makespan)
+	}
+}
+
+func TestLatencyHidingVsBSP(t *testing.T) {
+	// The §6.3 claim in miniature: interior compute can overlap the
+	// halo transfer; only the boundary update waits for it.
+	dataflow := NewGraph()
+	dataflow.Add("halo-recv", 2.0, nil, []string{"halo"}, true)
+	dataflow.Add("interior", 4.0, []string{"u"}, []string{"ui"}, false)
+	dataflow.Add("boundary", 1.0, []string{"halo", "ui"}, nil, false)
+	df := dataflow.Schedule(1)
+
+	bsp := NewGraph()
+	// BSP: communication phase strictly before all computation.
+	bsp.Add("halo-recv", 2.0, nil, []string{"phase"}, true)
+	bsp.Add("interior", 4.0, []string{"phase"}, []string{"ui"}, false)
+	bsp.Add("boundary", 1.0, []string{"phase", "ui"}, nil, false)
+	bs := bsp.Schedule(1)
+
+	if df.Makespan >= bs.Makespan {
+		t.Errorf("dataflow (%v) not faster than BSP (%v)", df.Makespan, bs.Makespan)
+	}
+	if df.Makespan != 5 || bs.Makespan != 7 {
+		t.Errorf("makespans = %v / %v, want 5 / 7", df.Makespan, bs.Makespan)
+	}
+}
+
+func TestScheduleFillsStartEnd(t *testing.T) {
+	g := NewGraph()
+	a := g.Add("a", 1, nil, []string{"x"}, false)
+	b := g.Add("b", 2, []string{"x"}, nil, false)
+	g.Schedule(1)
+	if a.End != 1 || b.Start != 1 || b.End != 3 {
+		t.Errorf("intervals: a=[%v,%v] b=[%v,%v]", a.Start, a.End, b.Start, b.End)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { NewGraph().Add("x", -1, nil, nil, false) },
+		func() { NewGraph().Schedule(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: for any random graph, makespan respects the two classic
+// lower bounds (critical path; total work / workers) and the Graham
+// list-scheduling upper bound CP + work/w.
+func TestGrahamBoundsProperty(t *testing.T) {
+	keys := []string{"a", "b", "c", "d"}
+	f := func(spec []uint8, w8 uint8) bool {
+		w := int(w8)%4 + 1
+		g := NewGraph()
+		for i, s := range spec {
+			if i > 30 {
+				break
+			}
+			dur := float64(s%9) + 1
+			var in, out []string
+			if s%3 == 0 {
+				in = []string{keys[int(s)%len(keys)]}
+			}
+			if s%4 == 0 {
+				out = []string{keys[int(s/2)%len(keys)]}
+			}
+			g.Add("t", dur, in, out, false)
+		}
+		if len(g.Tasks()) == 0 {
+			return true
+		}
+		r := g.Schedule(w)
+		lower := math.Max(r.CriticalPath, r.TotalWork/float64(w))
+		upper := r.CriticalPath + r.TotalWork/float64(w)
+		return r.Makespan >= lower-1e-9 && r.Makespan <= upper+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: execution respects every dependency.
+func TestDependencyOrderProperty(t *testing.T) {
+	f := func(spec []uint8, w8 uint8) bool {
+		w := int(w8)%4 + 1
+		g := NewGraph()
+		keys := []string{"x", "y"}
+		for i, s := range spec {
+			if i > 25 {
+				break
+			}
+			g.Add("t", float64(s%5)+0.5,
+				[]string{keys[int(s)%2]}, []string{keys[int(s/3)%2]}, s%7 == 0)
+		}
+		if len(g.Tasks()) == 0 {
+			return true
+		}
+		g.Schedule(w)
+		for _, t := range g.Tasks() {
+			for _, d := range g.Deps(t.ID) {
+				if g.Tasks()[d].End > t.Start+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

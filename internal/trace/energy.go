@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"fmt"
+
+	"mobilehpc/internal/soc"
+)
+
+// Trace-driven energy accounting: the paper integrates a wall-socket
+// power meter over the parallel region (§3.1); with a state trace we
+// can do better and charge each rank's node the power its state
+// actually implies — full active power while computing, idle-ish power
+// while blocked in the MPI stack. This refines the flat
+// "all nodes busy" integration used by the headline Green500 number
+// and quantifies the energy that communication waits burn.
+
+// EnergyModel maps trace states to active core counts on a node.
+type EnergyModel struct {
+	Platform *soc.Platform
+	FGHz     float64
+	// ComputeCores is cores busy during Compute intervals.
+	ComputeCores int
+	// CommCores is cores busy during Send/Recv/Collective (the
+	// protocol stack runs on one core).
+	CommCores int
+	// PerNodeOverheadW adds board/PSU overhead, as cluster.Cluster does.
+	PerNodeOverheadW float64
+}
+
+// TibidaboEnergy returns the Tibidabo node energy model.
+func TibidaboEnergy() EnergyModel {
+	return EnergyModel{
+		Platform: soc.Tegra2(), FGHz: 1.0,
+		ComputeCores: 2, CommCores: 1, PerNodeOverheadW: 3.5,
+	}
+}
+
+// stateCores returns active cores for a state.
+func (m EnergyModel) stateCores(s State) int {
+	switch s {
+	case Compute:
+		return m.ComputeCores
+	case Send, Recv, Collective:
+		return m.CommCores
+	default: // Wait: blocked, core idles
+		return 0
+	}
+}
+
+// Energy integrates the trace into total joules across all ranks.
+// Un-accounted time (gaps between intervals) is charged at idle power,
+// so the result covers each rank from t=0 to the trace end.
+func (m EnergyModel) Energy(tr *Trace) float64 {
+	if m.Platform == nil || m.FGHz <= 0 {
+		panic(fmt.Sprintf("trace: invalid energy model %+v", m))
+	}
+	end := tr.End()
+	idleW := m.Platform.Power.Watts(m.FGHz, 0) + m.PerNodeOverheadW
+	total := float64(tr.Ranks) * end * idleW
+	for _, iv := range tr.Intervals {
+		cores := m.stateCores(iv.State)
+		if cores == 0 {
+			continue
+		}
+		w := m.Platform.Power.Watts(m.FGHz, cores) + m.PerNodeOverheadW
+		total += (w - idleW) * iv.Dur()
+	}
+	return total
+}
+
+// WaitEnergy returns the joules burnt while ranks sit blocked in Wait
+// — energy with nothing to show for it, the §4.1 latency tax in
+// joules.
+func (m EnergyModel) WaitEnergy(tr *Trace) float64 {
+	idleW := m.Platform.Power.Watts(m.FGHz, 0) + m.PerNodeOverheadW
+	total := 0.0
+	for _, iv := range tr.Intervals {
+		if iv.State == Wait {
+			total += idleW * iv.Dur()
+		}
+	}
+	return total
+}
+
+// FlatEnergy is the §3.1 meter-style integration for comparison: all
+// ranks at full compute power for the whole run.
+func (m EnergyModel) FlatEnergy(tr *Trace) float64 {
+	w := m.Platform.Power.Watts(m.FGHz, m.ComputeCores) + m.PerNodeOverheadW
+	return float64(tr.Ranks) * tr.End() * w
+}

@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEnergyPureCompute(t *testing.T) {
+	m := TibidaboEnergy()
+	tr := New(2)
+	tr.Record(0, Compute, 0, 10)
+	tr.Record(1, Compute, 0, 10)
+	got := m.Energy(tr)
+	perNode := m.Platform.Power.Watts(1.0, 2) + m.PerNodeOverheadW
+	want := 2 * 10 * perNode
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("energy = %v, want %v", got, want)
+	}
+	// Fully-busy trace: trace-driven equals the flat meter integration.
+	if math.Abs(m.FlatEnergy(tr)-want) > 1e-9 {
+		t.Errorf("flat energy = %v, want %v", m.FlatEnergy(tr), want)
+	}
+}
+
+func TestEnergyWaitCheaperThanCompute(t *testing.T) {
+	m := TibidaboEnergy()
+	busy := New(1)
+	busy.Record(0, Compute, 0, 10)
+	idle := New(1)
+	idle.Record(0, Compute, 0, 1)
+	idle.Record(0, Wait, 1, 10)
+	if m.Energy(idle) >= m.Energy(busy) {
+		t.Errorf("waiting (%v J) should cost less than computing (%v J)",
+			m.Energy(idle), m.Energy(busy))
+	}
+}
+
+func TestEnergyGapsChargedAtIdle(t *testing.T) {
+	m := TibidaboEnergy()
+	tr := New(1)
+	tr.Record(0, Compute, 5, 10) // gap 0-5 untraced
+	idleW := m.Platform.Power.Watts(1.0, 0) + m.PerNodeOverheadW
+	fullW := m.Platform.Power.Watts(1.0, 2) + m.PerNodeOverheadW
+	want := 5*idleW + 5*fullW
+	if got := m.Energy(tr); math.Abs(got-want) > 1e-9 {
+		t.Errorf("energy = %v, want %v", got, want)
+	}
+}
+
+func TestWaitEnergyIsolatesTheTax(t *testing.T) {
+	m := TibidaboEnergy()
+	tr := New(2)
+	tr.Record(0, Compute, 0, 8)
+	tr.Record(1, Compute, 0, 2)
+	tr.Record(1, Wait, 2, 8)
+	we := m.WaitEnergy(tr)
+	idleW := m.Platform.Power.Watts(1.0, 0) + m.PerNodeOverheadW
+	if math.Abs(we-6*idleW) > 1e-9 {
+		t.Errorf("wait energy = %v, want %v", we, 6*idleW)
+	}
+	if we >= m.Energy(tr) {
+		t.Error("wait energy exceeds total")
+	}
+}
+
+func TestTraceEnergyBelowFlatWhenCommBound(t *testing.T) {
+	m := TibidaboEnergy()
+	tr := New(4)
+	for r := 0; r < 4; r++ {
+		tr.Record(r, Compute, 0, 2)
+		tr.Record(r, Wait, 2, 10)
+	}
+	if m.Energy(tr) >= m.FlatEnergy(tr) {
+		t.Error("trace-driven energy must undercut the flat meter on an idle-heavy run")
+	}
+}
+
+func TestEnergyPanicsOnBadModel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for empty model")
+		}
+	}()
+	(EnergyModel{}).Energy(New(1))
+}

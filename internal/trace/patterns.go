@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file is the Scalasca side of the §5 toolchain: automatic
+// detection of wait-state patterns in traces. The two classic
+// inefficiency patterns diagnosed here are the ones that show up on a
+// slow commodity interconnect: Late Sender (receivers idling in Wait
+// because the matching send started late) and load imbalance (ranks
+// idling in collectives because computation is skewed).
+
+// Finding is one detected inefficiency.
+type Finding struct {
+	Pattern  string
+	Rank     int
+	Severity float64 // seconds lost to the pattern
+	Detail   string
+}
+
+// LateSenderThreshold is the minimum share of a rank's accounted time
+// spent in Wait before it is reported.
+const LateSenderThreshold = 0.10
+
+// ImbalanceThreshold is the minimum max/mean compute ratio reported.
+const ImbalanceThreshold = 1.15
+
+// Analyze scans the trace for wait-state patterns and returns findings
+// ordered by severity (highest first).
+func (tr *Trace) Analyze() []Finding {
+	var out []Finding
+	ps := tr.Profiles()
+
+	// Late Sender: excessive blocked-receive time per rank.
+	for _, p := range ps {
+		if p.Total == 0 {
+			continue
+		}
+		w := p.ByState[Wait]
+		if w/p.Total >= LateSenderThreshold {
+			out = append(out, Finding{
+				Pattern:  "LateSender",
+				Rank:     p.Rank,
+				Severity: w,
+				Detail: fmt.Sprintf("%.1f%% of rank time blocked waiting for messages",
+					w/p.Total*100),
+			})
+		}
+	}
+
+	// Load imbalance: skewed compute with collectives absorbing it.
+	if imb := tr.Imbalance(); imb >= ImbalanceThreshold {
+		// Severity: compute time the slowest rank spends beyond the mean.
+		var maxC, sumC float64
+		maxRank := 0
+		for _, p := range ps {
+			c := p.ByState[Compute]
+			sumC += c
+			if c > maxC {
+				maxC, maxRank = c, p.Rank
+			}
+		}
+		mean := sumC / float64(len(ps))
+		out = append(out, Finding{
+			Pattern:  "LoadImbalance",
+			Rank:     maxRank,
+			Severity: maxC - mean,
+			Detail:   fmt.Sprintf("max/mean compute = %.2f", imb),
+		})
+	}
+
+	// Communication-bound: the whole run spends more time in the stack
+	// than computing (the Tibidabo failure mode for strong scaling).
+	if r := tr.CommComputeRatio(); r >= 1.0 {
+		out = append(out, Finding{
+			Pattern:  "CommunicationBound",
+			Rank:     -1,
+			Severity: r,
+			Detail:   fmt.Sprintf("comm/compute = %.2f across all ranks", r),
+		})
+	}
+
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Severity > out[j].Severity })
+	return out
+}
+
+// ReportFindings renders the analysis.
+func (tr *Trace) ReportFindings(w io.Writer) error {
+	fs := tr.Analyze()
+	if len(fs) == 0 {
+		_, err := fmt.Fprintln(w, "no inefficiency patterns detected")
+		return err
+	}
+	for _, f := range fs {
+		rank := fmt.Sprintf("rank %d", f.Rank)
+		if f.Rank < 0 {
+			rank = "global"
+		}
+		if _, err := fmt.Fprintf(w, "%-18s %-8s severity %.4f  %s\n",
+			f.Pattern, rank, f.Severity, f.Detail); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func findPattern(fs []Finding, name string) *Finding {
+	for i := range fs {
+		if fs[i].Pattern == name {
+			return &fs[i]
+		}
+	}
+	return nil
+}
+
+func TestLateSenderDetected(t *testing.T) {
+	tr := New(2)
+	tr.Record(0, Compute, 0, 10)
+	tr.Record(1, Compute, 0, 2)
+	tr.Record(1, Wait, 2, 10) // 80% waiting
+	f := findPattern(tr.Analyze(), "LateSender")
+	if f == nil {
+		t.Fatal("late sender not detected")
+	}
+	if f.Rank != 1 || f.Severity != 8 {
+		t.Errorf("finding = %+v", f)
+	}
+}
+
+func TestNoFalseLateSender(t *testing.T) {
+	tr := New(2)
+	tr.Record(0, Compute, 0, 10)
+	tr.Record(0, Wait, 10, 10.2) // 2% waiting: fine
+	tr.Record(1, Compute, 0, 10)
+	if f := findPattern(tr.Analyze(), "LateSender"); f != nil {
+		t.Errorf("false positive: %+v", f)
+	}
+}
+
+func TestLoadImbalanceDetected(t *testing.T) {
+	tr := New(4)
+	tr.Record(0, Compute, 0, 10)
+	for r := 1; r < 4; r++ {
+		tr.Record(r, Compute, 0, 4)
+		tr.Record(r, Collective, 4, 10)
+	}
+	f := findPattern(tr.Analyze(), "LoadImbalance")
+	if f == nil {
+		t.Fatal("imbalance not detected")
+	}
+	if f.Rank != 0 {
+		t.Errorf("slowest rank = %d, want 0", f.Rank)
+	}
+}
+
+func TestBalancedRunClean(t *testing.T) {
+	tr := New(4)
+	for r := 0; r < 4; r++ {
+		tr.Record(r, Compute, 0, 5)
+		tr.Record(r, Send, 5, 5.1)
+	}
+	if fs := tr.Analyze(); len(fs) != 0 {
+		t.Errorf("balanced run produced findings: %+v", fs)
+	}
+}
+
+func TestCommunicationBoundDetected(t *testing.T) {
+	tr := New(2)
+	for r := 0; r < 2; r++ {
+		tr.Record(r, Compute, 0, 1)
+		tr.Record(r, Send, 1, 3)
+	}
+	f := findPattern(tr.Analyze(), "CommunicationBound")
+	if f == nil {
+		t.Fatal("communication-bound run not flagged")
+	}
+	if f.Rank != -1 {
+		t.Errorf("global finding attributed to rank %d", f.Rank)
+	}
+}
+
+func TestFindingsSortedBySeverity(t *testing.T) {
+	tr := New(3)
+	tr.Record(0, Compute, 0, 10)
+	tr.Record(1, Compute, 0, 1)
+	tr.Record(1, Wait, 1, 10) // severity 9
+	tr.Record(2, Compute, 0, 1)
+	tr.Record(2, Wait, 1, 3) // severity 2
+	fs := tr.Analyze()
+	for i := 1; i < len(fs); i++ {
+		if fs[i].Severity > fs[i-1].Severity {
+			t.Errorf("findings not sorted: %+v", fs)
+		}
+	}
+}
+
+func TestReportFindingsOutput(t *testing.T) {
+	tr := New(2)
+	tr.Record(0, Compute, 0, 1)
+	tr.Record(1, Wait, 0, 1)
+	var buf bytes.Buffer
+	if err := tr.ReportFindings(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "LateSender") {
+		t.Errorf("report missing finding:\n%s", buf.String())
+	}
+	var empty bytes.Buffer
+	if err := New(1).ReportFindings(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(empty.String(), "no inefficiency") {
+		t.Error("clean trace not reported as clean")
+	}
+}

@@ -1,0 +1,223 @@
+// Package trace is the reproduction's Paraver: the paper's software
+// stack (§5, Figure 8) ships the Paraver trace visualiser and Scalasca,
+// and §4 credits "post-mortem application trace analysis" with finding
+// the interconnect timeouts that motivated the §4.1 study. This
+// package records per-rank state intervals (compute, send, receive,
+// wait, collective) from simulated MPI runs and computes the analyses
+// those tools provide: per-rank communication/computation breakdowns,
+// imbalance, and a text timeline.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// State classifies what a rank is doing during an interval.
+type State int
+
+// Rank activity states, in display order.
+const (
+	Compute State = iota
+	Send
+	Recv
+	Wait
+	Collective
+	numStates
+)
+
+func (s State) String() string {
+	switch s {
+	case Compute:
+		return "compute"
+	case Send:
+		return "send"
+	case Recv:
+		return "recv"
+	case Wait:
+		return "wait"
+	case Collective:
+		return "collective"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Interval is one contiguous span of a rank in a state.
+type Interval struct {
+	Rank  int
+	State State
+	T0    float64
+	T1    float64
+}
+
+// Dur returns the interval length.
+func (iv Interval) Dur() float64 { return iv.T1 - iv.T0 }
+
+// Trace accumulates intervals from a run.
+type Trace struct {
+	Ranks     int
+	Intervals []Interval
+}
+
+// New returns an empty trace for the given rank count.
+func New(ranks int) *Trace {
+	if ranks <= 0 {
+		panic("trace: non-positive rank count")
+	}
+	return &Trace{Ranks: ranks}
+}
+
+// Record appends an interval. Zero-length intervals are kept (they
+// still mark events) but negative ones panic.
+func (tr *Trace) Record(rank int, s State, t0, t1 float64) {
+	if rank < 0 || rank >= tr.Ranks {
+		panic(fmt.Sprintf("trace: rank %d out of %d", rank, tr.Ranks))
+	}
+	if t1 < t0 {
+		panic(fmt.Sprintf("trace: negative interval [%v, %v]", t0, t1))
+	}
+	tr.Intervals = append(tr.Intervals, Interval{Rank: rank, State: s, T0: t0, T1: t1})
+}
+
+// Profile is the per-rank accounting Paraver's profile view shows.
+type Profile struct {
+	Rank    int
+	ByState [numStates]float64
+	Total   float64
+}
+
+// CommFraction returns the share of accounted time spent communicating
+// (everything except Compute).
+func (p Profile) CommFraction() float64 {
+	if p.Total == 0 {
+		return 0
+	}
+	return (p.Total - p.ByState[Compute]) / p.Total
+}
+
+// Profiles aggregates the trace per rank.
+func (tr *Trace) Profiles() []Profile {
+	out := make([]Profile, tr.Ranks)
+	for i := range out {
+		out[i].Rank = i
+	}
+	for _, iv := range tr.Intervals {
+		out[iv.Rank].ByState[iv.State] += iv.Dur()
+		out[iv.Rank].Total += iv.Dur()
+	}
+	return out
+}
+
+// Imbalance returns max/mean of per-rank compute time — the load
+// imbalance metric trace analysis surfaces (1.0 = perfectly balanced).
+func (tr *Trace) Imbalance() float64 {
+	ps := tr.Profiles()
+	var sum, maxv float64
+	for _, p := range ps {
+		c := p.ByState[Compute]
+		sum += c
+		if c > maxv {
+			maxv = c
+		}
+	}
+	mean := sum / float64(len(ps))
+	if mean == 0 {
+		return 1
+	}
+	return maxv / mean
+}
+
+// End returns the last interval end time.
+func (tr *Trace) End() float64 {
+	end := 0.0
+	for _, iv := range tr.Intervals {
+		if iv.T1 > end {
+			end = iv.T1
+		}
+	}
+	return end
+}
+
+// CommComputeRatio returns total communication time over total compute
+// time across all ranks.
+func (tr *Trace) CommComputeRatio() float64 {
+	var comm, comp float64
+	for _, iv := range tr.Intervals {
+		if iv.State == Compute {
+			comp += iv.Dur()
+		} else {
+			comm += iv.Dur()
+		}
+	}
+	if comp == 0 {
+		return 0
+	}
+	return comm / comp
+}
+
+// Timeline renders an ASCII timeline, one row per rank, `width`
+// characters across the run: '#' compute, '>' send, '<' recv, '.'
+// wait, '+' collective, ' ' untraced.
+func (tr *Trace) Timeline(w io.Writer, width int) error {
+	if width <= 0 {
+		panic("trace: non-positive width")
+	}
+	end := tr.End()
+	if end == 0 {
+		_, err := fmt.Fprintln(w, "(empty trace)")
+		return err
+	}
+	glyphs := map[State]byte{Compute: '#', Send: '>', Recv: '<', Wait: '.', Collective: '+'}
+	rows := make([][]byte, tr.Ranks)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(" ", width))
+	}
+	ivs := append([]Interval(nil), tr.Intervals...)
+	sort.SliceStable(ivs, func(i, j int) bool { return ivs[i].T0 < ivs[j].T0 })
+	for _, iv := range ivs {
+		a := int(iv.T0 / end * float64(width))
+		b := int(iv.T1 / end * float64(width))
+		if a >= width {
+			a = width - 1
+		}
+		if b > width {
+			b = width
+		}
+		if b <= a {
+			b = a + 1
+			if b > width {
+				continue
+			}
+		}
+		for x := a; x < b; x++ {
+			rows[iv.Rank][x] = glyphs[iv.State]
+		}
+	}
+	for i, row := range rows {
+		if _, err := fmt.Fprintf(w, "rank %3d |%s|\n", i, row); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "legend: #=compute >=send <=recv .=wait +=collective  (%.3fs)\n", end)
+	return err
+}
+
+// Report renders the per-rank profile table.
+func (tr *Trace) Report(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%-5s %10s %10s %10s %10s %10s %7s\n",
+		"rank", "compute", "send", "recv", "wait", "collective", "comm%"); err != nil {
+		return err
+	}
+	for _, p := range tr.Profiles() {
+		if _, err := fmt.Fprintf(w, "%-5d %10.4f %10.4f %10.4f %10.4f %10.4f %6.1f%%\n",
+			p.Rank, p.ByState[Compute], p.ByState[Send], p.ByState[Recv],
+			p.ByState[Wait], p.ByState[Collective], p.CommFraction()*100); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "imbalance (max/mean compute): %.3f   comm/compute: %.3f\n",
+		tr.Imbalance(), tr.CommComputeRatio())
+	return err
+}

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestProfilesAccumulate(t *testing.T) {
+	tr := New(2)
+	tr.Record(0, Compute, 0, 2)
+	tr.Record(0, Send, 2, 2.5)
+	tr.Record(1, Compute, 0, 1)
+	tr.Record(1, Wait, 1, 2.5)
+	ps := tr.Profiles()
+	if ps[0].ByState[Compute] != 2 || ps[0].ByState[Send] != 0.5 {
+		t.Errorf("rank 0 profile: %+v", ps[0])
+	}
+	if math.Abs(ps[1].CommFraction()-0.6) > 1e-12 {
+		t.Errorf("rank 1 comm fraction = %v, want 0.6", ps[1].CommFraction())
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	tr := New(2)
+	tr.Record(0, Compute, 0, 3)
+	tr.Record(1, Compute, 0, 1)
+	if got := tr.Imbalance(); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("imbalance = %v, want 1.5 (3 / mean 2)", got)
+	}
+	empty := New(3)
+	if empty.Imbalance() != 1 {
+		t.Error("empty trace must be balanced")
+	}
+}
+
+func TestCommComputeRatio(t *testing.T) {
+	tr := New(1)
+	tr.Record(0, Compute, 0, 4)
+	tr.Record(0, Send, 4, 5)
+	tr.Record(0, Recv, 5, 6)
+	if got := tr.CommComputeRatio(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("ratio = %v, want 0.5", got)
+	}
+}
+
+func TestEnd(t *testing.T) {
+	tr := New(1)
+	tr.Record(0, Compute, 0, 1)
+	tr.Record(0, Wait, 1, 7)
+	if tr.End() != 7 {
+		t.Errorf("End = %v", tr.End())
+	}
+}
+
+func TestTimelineGlyphs(t *testing.T) {
+	tr := New(2)
+	tr.Record(0, Compute, 0, 5)
+	tr.Record(0, Send, 5, 10)
+	tr.Record(1, Wait, 0, 10)
+	var buf bytes.Buffer
+	if err := tr.Timeline(&buf, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "#####>>>>>") {
+		t.Errorf("rank 0 timeline wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "..........") {
+		t.Errorf("rank 1 timeline wrong:\n%s", out)
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New(1).Timeline(&buf, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty") {
+		t.Error("empty trace not flagged")
+	}
+}
+
+func TestReport(t *testing.T) {
+	tr := New(1)
+	tr.Record(0, Compute, 0, 1)
+	tr.Record(0, Collective, 1, 2)
+	var buf bytes.Buffer
+	if err := tr.Report(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "imbalance") {
+		t.Error("report missing summary line")
+	}
+	if !strings.Contains(buf.String(), "50.0%") {
+		t.Errorf("report missing comm%%:\n%s", buf.String())
+	}
+}
+
+func TestRecordPanics(t *testing.T) {
+	tr := New(1)
+	for i, fn := range []func(){
+		func() { tr.Record(5, Compute, 0, 1) },
+		func() { tr.Record(0, Compute, 2, 1) },
+		func() { New(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: total accounted time equals the sum of interval durations,
+// for any set of valid intervals.
+func TestProfileConservationProperty(t *testing.T) {
+	f := func(spans []uint8) bool {
+		tr := New(3)
+		want := 0.0
+		t0 := 0.0
+		for i, s := range spans {
+			d := float64(s) / 16
+			tr.Record(i%3, State(i%int(numStates)), t0, t0+d)
+			want += d
+			t0 += d
+		}
+		got := 0.0
+		for _, p := range tr.Profiles() {
+			got += p.Total
+		}
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

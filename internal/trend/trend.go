@@ -1,0 +1,203 @@
+// Package trend reproduces the paper's historical data analysis:
+// Figure 1 (TOP500 architecture shares, 1993–2013), Figure 2a (peak
+// floating-point of vector machines vs commodity microprocessors,
+// 1975–2000) and Figure 2b (server vs mobile processors, 1990–2015),
+// including the exponential regressions the paper overlays on each
+// series and the derived quantities of its §1 argument: performance
+// doubling times, the ~10x gap, and the projected crossover.
+package trend
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is one (year, MFLOPS) observation of a processor's peak
+// double-precision performance.
+type Point struct {
+	Year   float64
+	MFLOPS float64
+	Name   string
+}
+
+// Series is a named collection of points.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// VectorMachines returns the Cray/NEC vector processor series of
+// Figure 2a (per-CPU peak, MFLOPS).
+func VectorMachines() Series {
+	return Series{Name: "Vector", Points: []Point{
+		{1976, 160, "Cray-1"},
+		{1982, 235, "Cray X-MP"},
+		{1985, 488, "Cray-2"},
+		{1988, 333, "Cray Y-MP"},
+		{1991, 1000, "Cray C90"},
+		{1994, 2000, "Cray T90"},
+		{1995, 2000, "NEC SX-4"},
+		{1998, 8000, "NEC SX-5"},
+	}}
+}
+
+// Microprocessors returns the commodity microprocessor series of
+// Figure 2a (MFLOPS).
+func Microprocessors() Series {
+	return Series{Name: "Microprocessor", Points: []Point{
+		{1989, 7, "Intel i486"},
+		{1992, 200, "DEC Alpha EV4"},
+		{1993, 66, "Intel Pentium"},
+		{1995, 600, "DEC Alpha EV5"},
+		{1995, 200, "Intel Pentium Pro"},
+		{1996, 480, "IBM P2SC"},
+		{1997, 400, "HP PA8200"},
+		{1997, 300, "Intel Pentium II"},
+		{1999, 500, "Intel Pentium III"},
+		{2000, 1000, "Intel Pentium 4"},
+	}}
+}
+
+// ServerProcessors returns the server/desktop series of Figure 2b
+// (all-core chip peak, MFLOPS).
+func ServerProcessors() Series {
+	return Series{Name: "Server", Points: []Point{
+		{1992, 200, "DEC Alpha EV4"},
+		{1996, 1200, "DEC Alpha EV56"},
+		{2000, 2000, "Intel Pentium 4"},
+		{2003, 4800, "AMD Opteron"},
+		{2006, 21300, "Intel Xeon 5160"},
+		{2009, 42500, "Intel Xeon X5570"},
+		{2012, 166400, "Intel Xeon E5-2670"},
+		{2013, 230000, "Intel Xeon E5-2697v2"},
+	}}
+}
+
+// MobileSoCs returns the mobile SoC series of Figure 2b (all-core chip
+// FP64 peak, MFLOPS), ending with the paper's projected quad-core
+// ARMv8 at 2 GHz.
+func MobileSoCs() Series {
+	return Series{Name: "Mobile", Points: []Point{
+		{2008, 100, "ARM11 (est.)"},
+		{2010, 500, "Cortex-A8 SoC"},
+		{2011, 2000, "NVIDIA Tegra 2"},
+		{2012, 5200, "NVIDIA Tegra 3"},
+		{2012, 6800, "Samsung Exynos 5250"},
+		{2013, 10400, "Exynos 5 Octa (4xA15 1.3GHz est.)"},
+		{2015, 32000, "4-core ARMv8 @ 2GHz"},
+	}}
+}
+
+// Top500Entry is one (year, count) sample of the number of TOP500
+// systems of a given architecture class.
+type Top500Entry struct {
+	Year                  int
+	X86, RISC, VectorSIMD int
+}
+
+// Top500Shares returns the Figure 1 series: how special-purpose HPC
+// was displaced by RISC microprocessors, which were displaced by x86.
+// Values are systems in the June list of each year.
+func Top500Shares() []Top500Entry {
+	return []Top500Entry{
+		{1993, 20, 200, 280},
+		{1995, 23, 260, 217},
+		{1997, 135, 295, 70},
+		{1999, 55, 400, 45},
+		{2001, 45, 430, 25},
+		{2003, 120, 365, 15},
+		{2005, 333, 160, 7},
+		{2007, 408, 88, 4},
+		{2009, 440, 58, 2},
+		{2011, 460, 39, 1},
+		{2013, 475, 24, 1},
+	}
+}
+
+// Fit is an exponential regression y = a * 2^((x - x0)/T): log2-linear
+// least squares over a series.
+type Fit struct {
+	X0           float64 // reference year
+	A            float64 // MFLOPS at the reference year
+	DoublingTime float64 // years per 2x
+	R2           float64 // coefficient of determination in log space
+}
+
+// Eval returns the fitted MFLOPS at the given year.
+func (f Fit) Eval(year float64) float64 {
+	return f.A * math.Pow(2, (year-f.X0)/f.DoublingTime)
+}
+
+// FitExponential performs least-squares regression of log2(MFLOPS)
+// against year. It panics on fewer than two points or non-positive
+// values.
+func FitExponential(s Series) Fit {
+	if len(s.Points) < 2 {
+		panic(fmt.Sprintf("trend: series %q needs >= 2 points", s.Name))
+	}
+	var sx, sy, sxx, sxy float64
+	n := float64(len(s.Points))
+	x0 := s.Points[0].Year
+	for _, p := range s.Points {
+		if p.MFLOPS <= 0 {
+			panic(fmt.Sprintf("trend: non-positive MFLOPS for %s", p.Name))
+		}
+		x := p.Year - x0
+		y := math.Log2(p.MFLOPS)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	slope := (n*sxy - sx*sy) / (n*sxx - sx*sx)
+	intercept := (sy - slope*sx) / n
+	fit := Fit{X0: x0, A: math.Pow(2, intercept), DoublingTime: 1 / slope}
+	// R^2 in log2 space: how exponential the series really is.
+	meanY := sy / n
+	var ssRes, ssTot float64
+	for _, p := range s.Points {
+		y := math.Log2(p.MFLOPS)
+		pred := intercept + slope*(p.Year-x0)
+		ssRes += (y - pred) * (y - pred)
+		ssTot += (y - meanY) * (y - meanY)
+	}
+	if ssTot > 0 {
+		fit.R2 = 1 - ssRes/ssTot
+	} else {
+		fit.R2 = 1
+	}
+	return fit
+}
+
+// GapAt returns the ratio between two fitted series at a year — the
+// paper's "commodity parts were around ten times slower" quantity.
+func GapAt(num, den Fit, year float64) float64 {
+	return num.Eval(year) / den.Eval(year)
+}
+
+// CrossoverYear returns the year at which the `chaser` fit overtakes
+// the `leader` fit, or +Inf if it never does (slower growth).
+func CrossoverYear(leader, chaser Fit) float64 {
+	// leader.A * 2^((t-l0)/lT) = chaser.A * 2^((t-c0)/cT)
+	// log2 lA + (t-l0)/lT = log2 cA + (t-c0)/cT
+	k := 1/leader.DoublingTime - 1/chaser.DoublingTime
+	if k == 0 {
+		return math.Inf(1)
+	}
+	c := math.Log2(chaser.A) - chaser.X0/chaser.DoublingTime -
+		(math.Log2(leader.A) - leader.X0/leader.DoublingTime)
+	t := c / k
+	if t < leader.X0 && 1/chaser.DoublingTime < 1/leader.DoublingTime {
+		return math.Inf(1)
+	}
+	return t
+}
+
+// SortedByYear returns the series points ordered by year (stable for
+// plotting and table output).
+func SortedByYear(s Series) []Point {
+	out := append([]Point(nil), s.Points...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Year < out[j].Year })
+	return out
+}

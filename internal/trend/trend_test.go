@@ -1,0 +1,174 @@
+package trend
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitRecoversExactExponential(t *testing.T) {
+	// y doubles every 1.5 years from 100 MFLOPS in 1990.
+	s := Series{Name: "synthetic"}
+	for i := 0; i < 10; i++ {
+		year := 1990 + float64(i)
+		s.Points = append(s.Points, Point{year, 100 * math.Pow(2, (year-1990)/1.5), "p"})
+	}
+	f := FitExponential(s)
+	if math.Abs(f.DoublingTime-1.5) > 1e-9 {
+		t.Errorf("doubling time = %v, want 1.5", f.DoublingTime)
+	}
+	if math.Abs(f.Eval(1995)-100*math.Pow(2, 5/1.5)) > 1e-6 {
+		t.Errorf("Eval off: %v", f.Eval(1995))
+	}
+}
+
+func TestVectorVsMicroGapRoughlyTenX(t *testing.T) {
+	// §1: commodity microprocessors "were around ten times slower" than
+	// vector processors during 1990-2000.
+	v := FitExponential(VectorMachines())
+	m := FitExponential(Microprocessors())
+	for year := 1990.0; year <= 2000; year++ {
+		gap := GapAt(v, m, year)
+		if gap < 2 || gap > 40 {
+			t.Errorf("year %v: vector/micro gap = %.1f, want order ~10", year, gap)
+		}
+	}
+}
+
+func TestServerVsMobileGapRoughlyTenX2013(t *testing.T) {
+	// §1: mobile SoCs "are still ten times slower" than HPC processors
+	// in 2013.
+	srv := FitExponential(ServerProcessors())
+	mob := FitExponential(MobileSoCs())
+	gap := GapAt(srv, mob, 2013)
+	if gap < 3 || gap > 40 {
+		t.Errorf("2013 server/mobile gap = %.1f, want order ~10", gap)
+	}
+}
+
+func TestMobileGrowsFasterThanServer(t *testing.T) {
+	// The §1 argument requires the mobile trend to close the gap.
+	srv := FitExponential(ServerProcessors())
+	mob := FitExponential(MobileSoCs())
+	if mob.DoublingTime >= srv.DoublingTime {
+		t.Errorf("mobile doubling %v not faster than server %v",
+			mob.DoublingTime, srv.DoublingTime)
+	}
+	cross := CrossoverYear(srv, mob)
+	if math.IsInf(cross, 1) || cross < 2013 || cross > 2040 {
+		t.Errorf("crossover year = %v, want a plausible near future", cross)
+	}
+}
+
+func TestCrossoverNeverWhenChaserSlower(t *testing.T) {
+	fast := Fit{X0: 2000, A: 1000, DoublingTime: 1}
+	slow := Fit{X0: 2000, A: 1, DoublingTime: 5}
+	if !math.IsInf(CrossoverYear(fast, slow), 1) {
+		t.Error("slower-growing chaser cannot cross")
+	}
+}
+
+func TestTop500SharesShape(t *testing.T) {
+	shares := Top500Shares()
+	first := shares[0]
+	last := shares[len(shares)-1]
+	if first.Year != 1993 || last.Year != 2013 {
+		t.Fatalf("year range %d-%d", first.Year, last.Year)
+	}
+	// Figure 1's story: vector/SIMD dominant in 1993, gone by 2013;
+	// x86 dominant by 2013.
+	if first.VectorSIMD < first.X86 {
+		t.Error("1993 must be vector/SIMD era")
+	}
+	if last.X86 < 400 || last.VectorSIMD > 5 {
+		t.Error("2013 must be x86 era")
+	}
+	// Totals are bounded by 500 (some systems are 'other').
+	for _, e := range shares {
+		total := e.X86 + e.RISC + e.VectorSIMD
+		if total > 500 || total < 300 {
+			t.Errorf("year %d: total %d implausible for a TOP500 list", e.Year, total)
+		}
+	}
+	// RISC rises then falls (displaced by x86).
+	peakRISC, peakYear := 0, 0
+	for _, e := range shares {
+		if e.RISC > peakRISC {
+			peakRISC, peakYear = e.RISC, e.Year
+		}
+	}
+	if peakYear <= 1993 || peakYear >= 2010 {
+		t.Errorf("RISC peak year %d, want mid-era", peakYear)
+	}
+}
+
+func TestFitPanicsOnBadInput(t *testing.T) {
+	for i, s := range []Series{
+		{Name: "short", Points: []Point{{2000, 1, "x"}}},
+		{Name: "neg", Points: []Point{{2000, 1, "x"}, {2001, -5, "y"}}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			FitExponential(s)
+		}()
+	}
+}
+
+func TestSortedByYear(t *testing.T) {
+	s := Series{Points: []Point{{2005, 1, "b"}, {2001, 1, "a"}, {2003, 1, "c"}}}
+	out := SortedByYear(s)
+	if out[0].Year != 2001 || out[2].Year != 2005 {
+		t.Errorf("not sorted: %v", out)
+	}
+	if s.Points[0].Year != 2005 {
+		t.Error("SortedByYear must not mutate the input")
+	}
+}
+
+// Property: fit is scale-equivariant — multiplying all MFLOPS by a
+// constant multiplies Eval by the same constant and keeps doubling time.
+func TestFitScaleEquivariantProperty(t *testing.T) {
+	f := func(scale8 uint8) bool {
+		scale := float64(scale8%50) + 1
+		base := Microprocessors()
+		scaled := Series{Name: "scaled"}
+		for _, p := range base.Points {
+			scaled.Points = append(scaled.Points, Point{p.Year, p.MFLOPS * scale, p.Name})
+		}
+		f1 := FitExponential(base)
+		f2 := FitExponential(scaled)
+		if math.Abs(f1.DoublingTime-f2.DoublingTime) > 1e-9 {
+			return false
+		}
+		return math.Abs(f2.Eval(1995)/f1.Eval(1995)-scale) < 1e-9*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestR2PerfectOnExactExponential(t *testing.T) {
+	s := Series{Name: "exact"}
+	for i := 0; i < 8; i++ {
+		year := 2000 + float64(i)
+		s.Points = append(s.Points, Point{year, 10 * math.Pow(2, float64(i)/2), "p"})
+	}
+	if f := FitExponential(s); math.Abs(f.R2-1) > 1e-12 {
+		t.Errorf("R2 = %v, want 1 for a perfect exponential", f.R2)
+	}
+}
+
+func TestR2HighForRealSeries(t *testing.T) {
+	// The §1 argument leans on these trends being exponential; the
+	// embedded series must actually fit one well.
+	for _, s := range []Series{VectorMachines(), Microprocessors(),
+		ServerProcessors(), MobileSoCs()} {
+		if f := FitExponential(s); f.R2 < 0.70 {
+			t.Errorf("%s: R2 = %.3f, series not convincingly exponential", s.Name, f.R2)
+		}
+	}
+}
