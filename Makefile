@@ -1,0 +1,23 @@
+# Verification gates for the mobilehpc reproduction. `make check` is
+# the full wall a PR must clear: vet, build, the tier-1 test suite, and
+# the race smoke pass that exercises the parallel experiment pool.
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

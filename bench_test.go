@@ -6,8 +6,10 @@
 package mobilehpc
 
 import (
+	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"testing"
 
 	"mobilehpc/internal/apps/hpl"
@@ -128,6 +130,25 @@ func BenchmarkGreen500HPL(b *testing.B) {
 func BenchmarkLatencyPenalty(b *testing.B) {
 	benchExperiment(b, "latpenalty")
 	b.ReportMetric(metrics.LatencyPenaltyPct(100, 1.0), "snb_100us_pct")
+}
+
+// BenchmarkRunAllJobs regenerates the full quick registry serially and
+// on worker pools of increasing width. The j4/j1 ns/op ratio is the
+// harness speedup — on a 4-core host the pool clears 1.5x easily since
+// the registry is embarrassingly parallel; on fewer cores the ratio
+// degrades toward 1 but the output stays byte-identical (asserted by
+// TestRunAllParallelByteIdentical).
+func BenchmarkRunAllJobs(b *testing.B) {
+	for _, j := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("j%d", j), func(b *testing.B) {
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "host_cores")
+			for i := 0; i < b.N; i++ {
+				if err := harness.RunAll(io.Discard, harness.Options{Quick: true, Jobs: j}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // ---- native-code micro-benchmarks: the real kernels on the host ----

@@ -5,11 +5,15 @@
 // Usage:
 //
 //	mhpc list                  list experiment ids and titles
-//	mhpc run [-quick] [-csv] <id>...   run selected experiments
-//	mhpc all [-quick]          regenerate every table and figure
+//	mhpc run [-quick] [-csv] [-j N] <id>...   run selected experiments
+//	mhpc all [-quick] [-j N]   regenerate every table and figure
 //	mhpc hpl [-nodes N]        run weak-scaled HPL on Tibidabo
 //	mhpc trace [-nodes N]      traced run + Paraver/Scalasca-style analysis
 //	mhpc tune [-n N]           ATLAS-style gemm block autotuning on this host
+//
+// run and all accept -j N to execute experiments on a worker pool of N
+// goroutines (0 = one per CPU). Output is byte-identical at every -j;
+// the MHPC_PARALLEL environment variable sets the default.
 package main
 
 import (
@@ -17,6 +21,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
+	"strconv"
 
 	"mobilehpc/internal/cluster"
 	"mobilehpc/internal/core"
@@ -25,6 +31,27 @@ import (
 	"mobilehpc/internal/mpi"
 	"mobilehpc/internal/perf"
 )
+
+// defaultJobs is the -j default: the MHPC_PARALLEL environment
+// variable when set to a non-negative integer, else 1 (serial legacy
+// path).
+func defaultJobs() int {
+	if s := os.Getenv("MHPC_PARALLEL"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n >= 0 {
+			return n
+		}
+		fmt.Fprintf(os.Stderr, "mhpc: ignoring invalid MHPC_PARALLEL=%q\n", s)
+	}
+	return 1
+}
+
+// resolveJobs maps the -j 0 "auto" setting to one worker per CPU.
+func resolveJobs(j int) int {
+	if j == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return j
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -61,11 +88,14 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   mhpc list                        list experiments
-  mhpc run [-quick] [-csv] <id>... run selected experiments
-  mhpc all [-quick]                regenerate every table and figure
+  mhpc run [-quick] [-csv] [-j N] <id>... run selected experiments
+  mhpc all [-quick] [-j N]         regenerate every table and figure
   mhpc hpl [-nodes N]              weak-scaled HPL + Green500 metric
   mhpc trace [-nodes N] [-steps S] traced run with timeline + bottleneck analysis
-  mhpc tune [-n N]                 ATLAS-style gemm autotuning on this host`)
+  mhpc tune [-n N]                 ATLAS-style gemm autotuning on this host
+
+-j N runs experiments on a pool of N workers (0 = one per CPU, default
+from MHPC_PARALLEL or 1); output is byte-identical at every -j.`)
 }
 
 func list() error {
@@ -79,18 +109,19 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "reduced node counts / steps")
 	csv := fs.Bool("csv", false, "emit CSV instead of a text table")
+	jobs := fs.Int("j", defaultJobs(), "worker pool size (0 = one per CPU)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() == 0 {
 		return fmt.Errorf("run: need at least one experiment id (try 'mhpc list')")
 	}
-	for _, id := range fs.Args() {
-		e, err := harness.ByID(id)
-		if err != nil {
-			return err
-		}
-		tab := e.Run(harness.Options{Quick: *quick})
+	tabs, err := harness.Tables(fs.Args(),
+		harness.Options{Quick: *quick, Jobs: resolveJobs(*jobs)})
+	if err != nil {
+		return err
+	}
+	for _, tab := range tabs {
 		if *csv {
 			if err := tab.CSV(os.Stdout); err != nil {
 				return err
@@ -105,10 +136,11 @@ func run(args []string) error {
 func all(args []string) error {
 	fs := flag.NewFlagSet("all", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "reduced node counts / steps")
+	jobs := fs.Int("j", defaultJobs(), "worker pool size (0 = one per CPU)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	return core.RunAllExperiments(os.Stdout, *quick)
+	return core.RunAllExperimentsParallel(os.Stdout, *quick, resolveJobs(*jobs))
 }
 
 func runTrace(args []string) error {

@@ -95,7 +95,16 @@ func RunExperiment(w io.Writer, id string, quick bool) error {
 	return e.Run(harness.Options{Quick: quick}).Render(w)
 }
 
-// RunAllExperiments regenerates every table and figure.
+// RunAllExperiments regenerates every table and figure serially (the
+// legacy path; equivalent to RunAllExperimentsParallel with jobs=1).
 func RunAllExperiments(w io.Writer, quick bool) error {
 	return harness.RunAll(w, harness.Options{Quick: quick})
+}
+
+// RunAllExperimentsParallel regenerates every table and figure on a
+// bounded worker pool of up to `jobs` workers. The output stream is
+// byte-identical to RunAllExperiments for every jobs value: experiments
+// merge in registry order and each owns its engines and RNGs.
+func RunAllExperimentsParallel(w io.Writer, quick bool, jobs int) error {
+	return harness.RunAll(w, harness.Options{Quick: quick, Jobs: jobs})
 }

@@ -108,7 +108,11 @@ func runFig6(o Options) *Table {
 		return r.Efficiency * float64(n) / eff1
 	}
 
-	for _, n := range nodes {
+	// One sub-run per node count, each on its own clusters (and thus
+	// its own sim engines); merged in node order so the table is
+	// byte-identical at any -j.
+	for _, cells := range parmap(o.Jobs, len(nodes), func(i int) []string {
+		n := nodes[i]
 		cells := []string{fmt.Sprintf("%d", n)}
 		cells = append(cells, fmt.Sprintf("%.1f", hplAt(n)))
 		s := specfem.Run(cluster.Tibidabo(n), n, specCfg()).Elapsed
@@ -128,6 +132,8 @@ func runFig6(o Options) *Table {
 					pepcBase/r.Elapsed*float64(pepcBaseNodes)))
 			}
 		}
+		return cells
+	}) {
 		t.AddRow(cells...)
 	}
 	t.Notes = append(t.Notes,
@@ -188,13 +194,17 @@ func runGreen500(o Options) *Table {
 	if o.Quick {
 		nodes = []int{4, 16}
 	}
-	for _, n := range nodes {
+	for _, row := range parmap(o.Jobs, len(nodes), func(i int) []string {
+		n := nodes[i]
 		cl := cluster.Tibidabo(n)
 		N := int(8192 * math.Sqrt(float64(n)))
 		r := hpl.Run(cl, n, hpl.Config{N: N, RealN: 64})
 		w := cl.PowerW(2)
-		t.AddRowf("%d|%d|%.1f|%.0f%%|%.0f|%.0f",
-			n, N, r.GFLOPS, r.Efficiency*100, w, metrics.MFLOPSPerWatt(r.GFLOPS, w))
+		return []string{fmt.Sprintf("%d", n), fmt.Sprintf("%d", N),
+			fmt.Sprintf("%.1f", r.GFLOPS), fmt.Sprintf("%.0f%%", r.Efficiency*100),
+			fmt.Sprintf("%.0f", w), fmt.Sprintf("%.0f", metrics.MFLOPSPerWatt(r.GFLOPS, w))}
+	}) {
+		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,
 		"paper: 97 GFLOPS on 96 nodes, 51% efficiency, 120 MFLOPS/W",

@@ -1,0 +1,157 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Determinism property: every registered experiment, run twice
+// serially and once on a 4-worker pool, must produce byte-identical
+// Render and CSV output. This is the contract that lets -j change
+// wall-clock time and nothing else.
+func TestExperimentsDeterministicAcrossJobs(t *testing.T) {
+	// In -short (the race smoke wall) cover the experiments that use
+	// the pool internally plus a cheap control; the full registry
+	// property runs in the regular suite.
+	shortSet := map[string]bool{
+		"fig6": true, "green500": true, "fig7sweep": true,
+		"hetero": true, "stability": true, "fig7": true,
+	}
+	for _, e := range Experiments() {
+		e := e
+		if testing.Short() && !shortSet[e.ID] {
+			continue
+		}
+		t.Run(e.ID, func(t *testing.T) {
+			render := func(opt Options) (string, string) {
+				tab := e.Run(opt)
+				var r, c bytes.Buffer
+				if err := tab.Render(&r); err != nil {
+					t.Fatal(err)
+				}
+				if err := tab.CSV(&c); err != nil {
+					t.Fatal(err)
+				}
+				return r.String(), c.String()
+			}
+			r1, c1 := render(Options{Quick: true})
+			r2, c2 := render(Options{Quick: true})
+			r4, c4 := render(Options{Quick: true, Jobs: 4})
+			if r1 != r2 {
+				t.Errorf("%s: serial rerun changed Render output", e.ID)
+			}
+			if c1 != c2 {
+				t.Errorf("%s: serial rerun changed CSV output", e.ID)
+			}
+			if r1 != r4 {
+				t.Errorf("%s: Jobs=4 changed Render output:\nserial:\n%s\nparallel:\n%s", e.ID, r1, r4)
+			}
+			if c1 != c4 {
+				t.Errorf("%s: Jobs=4 changed CSV output", e.ID)
+			}
+		})
+	}
+}
+
+// The full registry stream must also merge identically: RunAll at -j 4
+// is byte-for-byte the serial stream (registry order, not completion
+// order). In -short mode (the race smoke wall) the serial reference
+// pass is skipped — the parallel pass still drives the whole pool
+// under -race, and byte-identity is covered by the per-experiment
+// property test plus the full-mode run of this test.
+func TestRunAllParallelByteIdentical(t *testing.T) {
+	var parallel bytes.Buffer
+	if err := RunAll(&parallel, Options{Quick: true, Jobs: 4}); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range Experiments() {
+		if !strings.Contains(parallel.String(), "## "+e.ID) {
+			t.Errorf("parallel RunAll output missing %s", e.ID)
+		}
+	}
+	if testing.Short() {
+		return
+	}
+	var serial bytes.Buffer
+	if err := RunAll(&serial, Options{Quick: true, Jobs: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Fatal("RunAll with Jobs=4 is not byte-identical to the serial run")
+	}
+}
+
+// Tables preserves request order (not completion order) and fails up
+// front on unknown ids.
+func TestTablesOrderAndErrors(t *testing.T) {
+	ids := []string{"fig7", "fig1", "latpenalty"}
+	tabs, err := Tables(ids, Options{Quick: true, Jobs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		if tabs[i].ID != id {
+			t.Errorf("Tables[%d] = %s, want %s", i, tabs[i].ID, id)
+		}
+	}
+	if _, err := Tables([]string{"fig1", "nope"}, Options{}); err == nil {
+		t.Error("Tables with an unknown id did not error")
+	}
+}
+
+func TestParmapOrderAndWorkers(t *testing.T) {
+	for _, jobs := range []int{0, 1, 3, 8, 100} {
+		got := parmap(jobs, 20, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("jobs=%d: out[%d] = %d, want %d", jobs, i, v, i*i)
+			}
+		}
+	}
+	if got := parmap(4, 0, func(i int) int { return i }); len(got) != 0 {
+		t.Errorf("parmap over zero tasks returned %v", got)
+	}
+}
+
+func TestParmapPropagatesPanic(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("worker panic was swallowed")
+		}
+		if !strings.Contains(fmt.Sprint(r), "boom") {
+			t.Fatalf("panic %v does not carry the task's value", r)
+		}
+	}()
+	parmap(4, 8, func(i int) int {
+		if i == 5 {
+			panic("boom")
+		}
+		return i
+	})
+}
+
+// TaskSeed must be stable, label-sensitive, and unambiguous about
+// label boundaries; TaskRNG streams must be reproducible.
+func TestTaskSeedAndRNG(t *testing.T) {
+	if TaskSeed("fig6", "n=16") != TaskSeed("fig6", "n=16") {
+		t.Error("TaskSeed not stable")
+	}
+	if TaskSeed("fig6", "n=16") == TaskSeed("fig6", "n=32") {
+		t.Error("TaskSeed ignores labels")
+	}
+	if TaskSeed("ab", "c") == TaskSeed("a", "bc") {
+		t.Error("TaskSeed is ambiguous about label boundaries")
+	}
+	a, b := TaskRNG("stability", "mc"), TaskRNG("stability", "mc")
+	for i := 0; i < 16; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("TaskRNG streams with equal labels diverge")
+		}
+	}
+	if TaskRNG("x").Uint64() == TaskRNG("y").Uint64() {
+		t.Error("TaskRNG streams with different labels start identically (suspicious)")
+	}
+}

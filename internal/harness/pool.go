@@ -1,0 +1,95 @@
+package harness
+
+// Parallel experiment scheduling. The registry sweep in RunAll, the
+// per-node-count sub-runs inside the cluster experiments, and the
+// Monte-Carlo reduction in internal/reliability all funnel through the
+// same bounded worker pool, and all obey one contract:
+//
+//   * every task owns its state — its own cluster (and therefore its
+//     own sim.Engine) and, when it samples, its own RNG seeded by
+//     TaskSeed — so tasks never share mutable data;
+//   * results are merged in task-index order, never completion order,
+//     so the rendered tables and CSV output of a parallel run are
+//     byte-identical to the serial run.
+//
+// Jobs <= 1 takes the exact legacy path: a plain loop on the calling
+// goroutine with no channels, no goroutines, no pool.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+)
+
+// parmap runs task(i) for i in [0, n) on up to `jobs` worker
+// goroutines and returns the results indexed by i. With jobs <= 1 (or
+// a single task) it degenerates to a serial loop on the calling
+// goroutine — the legacy execution path, bit-for-bit. A panicking task
+// does not crash the process from a worker goroutine: the first panic
+// is captured and re-raised on the caller once all workers drain.
+func parmap[T any](jobs, n int, task func(i int) T) []T {
+	out := make([]T, n)
+	if jobs > n {
+		jobs = n
+	}
+	if jobs <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = task(i)
+		}
+		return out
+	}
+	var (
+		wg         sync.WaitGroup
+		panicOnce  sync.Once
+		panicValue any
+	)
+	idx := make(chan int)
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicOnce.Do(func() { panicValue = r })
+						}
+					}()
+					out[i] = task(i)
+				}()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	if panicValue != nil {
+		panic(fmt.Sprintf("harness: parallel task panicked: %v", panicValue))
+	}
+	return out
+}
+
+// TaskSeed derives a stable 64-bit seed from a path of labels
+// (experiment ID, sub-run name, node count, ...) via FNV-1a. The seed
+// depends only on the labels — never on worker count, scheduling
+// order, or wall clock — which is what makes sampled experiments
+// reproducible and independent of -j.
+func TaskSeed(parts ...string) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0}) // unambiguous separator: ("a","b") != ("ab")
+	}
+	return h.Sum64()
+}
+
+// TaskRNG returns a private rand.Rand for one task, seeded with
+// TaskSeed(parts...). Each parallel task must draw from its own RNG:
+// sharing one generator across workers would both race and make the
+// draw order (hence the output) depend on scheduling.
+func TaskRNG(parts ...string) *rand.Rand {
+	return rand.New(rand.NewSource(int64(TaskSeed(parts...))))
+}

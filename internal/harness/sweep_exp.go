@@ -27,7 +27,7 @@ func init() {
 // runFig7Sweep emits the actual data series of Figure 7: latency for
 // the 0-64 B x-axis of the top row and bandwidth for the 1 B-16 MiB
 // log axis of the bottom row, per configuration.
-func runFig7Sweep(Options) *Table {
+func runFig7Sweep(o Options) *Table {
 	t := &Table{
 		ID: "fig7sweep", Title: "Ping-pong series (latency µs / bandwidth MB/s)",
 		Paper:   "Figure 7",
@@ -43,21 +43,34 @@ func runFig7Sweep(Options) *Table {
 		{Platform: ex, FGHz: 1.4, Proto: interconnect.TCPIP()},
 		{Platform: ex, FGHz: 1.4, Proto: interconnect.OpenMX()},
 	}
+	// Materialise both axes up front so the per-size evaluations can
+	// fan out to the pool and still merge in axis order.
+	latSizes := []int{0, 8, 16, 24, 32, 40, 48, 56, 64}
+	var bwSizes []int
+	for m := 1; m <= 16<<20; m *= 4 {
+		bwSizes = append(bwSizes, m)
+	}
 	// Latency rows: the figure's 0-64 byte axis.
-	for _, m := range []int{0, 8, 16, 24, 32, 40, 48, 56, 64} {
+	for _, row := range parmap(o.Jobs, len(latSizes), func(i int) []string {
+		m := latSizes[i]
 		cells := []string{fmt.Sprintf("%dB (lat)", m)}
 		for _, e := range eps {
 			cells = append(cells, fmt.Sprintf("%.1f", interconnect.OneWayLatency(e, m, 1.0)*1e6))
 		}
-		t.AddRow(cells...)
+		return cells
+	}) {
+		t.AddRow(row...)
 	}
 	// Bandwidth rows: powers of four across the figure's log axis.
-	for m := 1; m <= 16<<20; m *= 4 {
+	for _, row := range parmap(o.Jobs, len(bwSizes), func(i int) []string {
+		m := bwSizes[i]
 		cells := []string{fmtBytes(m) + " (bw)"}
 		for _, e := range eps {
 			cells = append(cells, fmt.Sprintf("%.1f", interconnect.EffectiveBandwidth(e, m, 1.0)))
 		}
-		t.AddRow(cells...)
+		return cells
+	}) {
+		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,
 		"top block: one-way latency in µs (flat to 64 B, as in the figure)",
@@ -105,12 +118,7 @@ func runHetero(o Options) *Table {
 		return cl
 	}
 
-	// Uniform split: every node gets elems/10 — the i7s finish early
-	// and idle at each assembly step.
-	uni := specfem.RunWeighted(hetero(), 10, specfem.Config{
-		Elements: elems, Steps: steps, RealElements: 16, Threads: 8}, nil)
-
-	// Peak-proportional split.
+	// Peak-proportional weights for the second split.
 	weights := make([]float64, 10)
 	for i := 0; i < 10; i++ {
 		var p *soc.Platform
@@ -121,8 +129,16 @@ func runHetero(o Options) *Table {
 		}
 		weights[i] = p.PeakGFLOPSMax()
 	}
-	prop := specfem.RunWeighted(hetero(), 10, specfem.Config{
-		Elements: elems, Steps: steps, RealElements: 16, Threads: 8}, weights)
+
+	// Uniform split (nil weights): every node gets elems/10 — the i7s
+	// finish early and idle at each assembly step. Both splits run on
+	// their own cluster, so they can share the pool.
+	splits := [][]float64{nil, weights}
+	runs := parmap(o.Jobs, len(splits), func(i int) specfem.Result {
+		return specfem.RunWeighted(hetero(), 10, specfem.Config{
+			Elements: elems, Steps: steps, RealElements: 16, Threads: 8}, splits[i])
+	})
+	uni, prop := runs[0], runs[1]
 
 	t.AddRowf("uniform|%.3f|1.00x", uni.Elapsed)
 	t.AddRowf("peak-proportional|%.3f|%.2fx", prop.Elapsed, uni.Elapsed/prop.Elapsed)

@@ -116,6 +116,13 @@ type Options struct {
 	// Quick shrinks node counts and step counts so the whole registry
 	// runs in seconds (used by tests and the default CLI mode).
 	Quick bool
+	// Jobs bounds the worker pool used by RunAll, Tables, and the
+	// per-node-count sub-runs inside the cluster experiments. 0 or 1
+	// is the exact legacy serial path; N > 1 runs up to N tasks
+	// concurrently. Output is byte-identical for every value of Jobs:
+	// each task owns its engine and RNG, and results merge in task
+	// order (see pool.go).
+	Jobs int
 }
 
 // Experiment is one registered table/figure generator.
@@ -172,12 +179,37 @@ func ByID(id string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("harness: unknown experiment %q", id)
 }
 
-// RunAll executes every experiment and renders the results to w.
+// RunAll executes every experiment and renders the results to w in
+// registry (paper) order. With opt.Jobs > 1 the experiments execute on
+// a bounded worker pool but the rendered stream is still byte-identical
+// to a serial run: tables are merged in registry order, not completion
+// order.
 func RunAll(w io.Writer, opt Options) error {
-	for _, e := range Experiments() {
-		if err := e.Run(opt).Render(w); err != nil {
+	exps := Experiments()
+	tabs := parmap(opt.Jobs, len(exps), func(i int) *Table {
+		return exps[i].Run(opt)
+	})
+	for _, tab := range tabs {
+		if err := tab.Render(w); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// Tables executes the named experiments (in the given order, which is
+// preserved in the result) on the Options worker pool. It fails before
+// running anything if any id is unknown.
+func Tables(ids []string, opt Options) ([]*Table, error) {
+	exps := make([]Experiment, len(ids))
+	for i, id := range ids {
+		e, err := ByID(id)
+		if err != nil {
+			return nil, err
+		}
+		exps[i] = e
+	}
+	return parmap(opt.Jobs, len(exps), func(i int) *Table {
+		return exps[i].Run(opt)
+	}), nil
 }

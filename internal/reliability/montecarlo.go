@@ -1,12 +1,25 @@
 package reliability
 
-import "mobilehpc/internal/linalg"
+import (
+	"sync"
+
+	"mobilehpc/internal/linalg"
+)
 
 // Monte-Carlo cross-validation of the analytic reliability model: the
 // closed forms in this package (daily probabilities, MTBE, survival)
 // are simple enough to derive by hand, but the §6.3 argument is worth
 // double-checking by direct simulation — the same defence-in-depth the
 // calibration tests give the performance model.
+//
+// Two execution paths exist. SimulateClusterDays / SimulateJobSurvival
+// draw from one sequential RNG stream — the legacy path, kept exactly
+// as-is. The *Parallel variants split the trial count into fixed-size
+// chunks, give every chunk its own RNG seeded by chunkSeed(seed, i),
+// and sum the per-chunk failure counts. Because the chunk boundaries
+// and sub-seeds depend only on (seed, trial count) — never on the
+// worker count — the reduction is associative over ints and the result
+// is identical for any jobs value, including jobs=1.
 
 // SimulateClusterDays draws `days` independent days for a cluster of
 // nodes x dimmsPerNode DIMMs at the given annual per-DIMM error rate
@@ -69,5 +82,144 @@ func SimulateJobSurvival(mtbfHours, jobHours float64, trials int, seed uint64) f
 			ok++
 		}
 	}
+	return float64(ok) / float64(trials)
+}
+
+// MCChunk is the number of Monte-Carlo trials simulated per RNG chunk
+// in the *Parallel variants. It is a fixed constant — never derived
+// from the worker count — so the chunk decomposition, the per-chunk
+// sub-seeds, and therefore the summed failure counts are identical for
+// every jobs value.
+const MCChunk = 512
+
+// chunkSeed derives the RNG seed of chunk i from the caller's seed via
+// a SplitMix64 mix, so neighbouring chunks get decorrelated streams
+// even for small consecutive seeds.
+func chunkSeed(seed uint64, i int) uint64 {
+	z := seed + uint64(i+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// reduceChunks splits n trials into MCChunk-sized chunks, runs
+// count(chunk, trialsInChunk) on up to jobs workers, and returns the
+// summed counts. jobs <= 1 is a plain serial loop; any jobs value
+// produces the same sum because each chunk owns its RNG.
+func reduceChunks(n, jobs int, count func(chunk, trials int) int) int {
+	chunks := (n + MCChunk - 1) / MCChunk
+	trialsIn := func(c int) int {
+		t := MCChunk
+		if last := n - c*MCChunk; last < t {
+			t = last
+		}
+		return t
+	}
+	if jobs > chunks {
+		jobs = chunks
+	}
+	if jobs <= 1 || chunks <= 1 {
+		total := 0
+		for c := 0; c < chunks; c++ {
+			total += count(c, trialsIn(c))
+		}
+		return total
+	}
+	sums := make([]int, chunks)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range idx {
+				sums[c] = count(c, trialsIn(c))
+			}
+		}()
+	}
+	for c := 0; c < chunks; c++ {
+		idx <- c
+	}
+	close(idx)
+	wg.Wait()
+	total := 0
+	for _, s := range sums {
+		total += s
+	}
+	return total
+}
+
+// clusterDaysChunk counts error days among `days` simulated days using
+// one private RNG stream.
+func clusterDaysChunk(dimms int, pDaily float64, days int, seed uint64) int {
+	rng := linalg.NewLCG(seed)
+	bad := 0
+	for d := 0; d < days; d++ {
+		for i := 0; i < dimms; i++ {
+			if rng.Float64() < pDaily {
+				bad++
+				break
+			}
+		}
+	}
+	return bad
+}
+
+// SimulateClusterDaysParallel is the chunked-reduction counterpart of
+// SimulateClusterDays: `days` Bernoulli days split into MCChunk-sized
+// chunks, each with an RNG seeded by chunkSeed(seed, chunk), reduced by
+// summing failure counts on up to `jobs` workers. The result depends
+// only on the inputs, not on jobs.
+func SimulateClusterDaysParallel(nodes, dimmsPerNode int, pAnnual float64, days int, seed uint64, jobs int) float64 {
+	if days <= 0 {
+		panic("reliability: non-positive day count")
+	}
+	pd := DailyFromAnnual(pAnnual)
+	dimms := nodes * dimmsPerNode
+	bad := reduceChunks(days, jobs, func(chunk, trials int) int {
+		return clusterDaysChunk(dimms, pd, trials, chunkSeed(seed, chunk))
+	})
+	return float64(bad) / float64(days)
+}
+
+// survivalChunk counts surviving jobs among `trials` simulated jobs
+// using one private RNG stream.
+func survivalChunk(perHour, jobHours float64, trials int, seed uint64) int {
+	rng := linalg.NewLCG(seed)
+	ok := 0
+	for t := 0; t < trials; t++ {
+		alive := true
+		whole := int(jobHours)
+		for h := 0; h < whole && alive; h++ {
+			if rng.Float64() < perHour {
+				alive = false
+			}
+		}
+		if alive && jobHours > float64(whole) {
+			if rng.Float64() < perHour*(jobHours-float64(whole)) {
+				alive = false
+			}
+		}
+		if alive {
+			ok++
+		}
+	}
+	return ok
+}
+
+// SimulateJobSurvivalParallel is the chunked-reduction counterpart of
+// SimulateJobSurvival, with the same seeding and merge contract as
+// SimulateClusterDaysParallel.
+func SimulateJobSurvivalParallel(mtbfHours, jobHours float64, trials int, seed uint64, jobs int) float64 {
+	if trials <= 0 || mtbfHours <= 0 || jobHours < 0 {
+		panic("reliability: bad survival simulation inputs")
+	}
+	perHour := 1 / mtbfHours
+	if perHour > 1 {
+		perHour = 1
+	}
+	ok := reduceChunks(trials, jobs, func(chunk, n int) int {
+		return survivalChunk(perHour, jobHours, n, chunkSeed(seed, chunk))
+	})
 	return float64(ok) / float64(trials)
 }

@@ -11,12 +11,25 @@
 // sim is the substrate under every time-based component of mobilehpc: the
 // interconnect models, the MPI runtime, and the cluster scalability
 // experiments all advance the same virtual clock.
+//
+// # Concurrency contract
+//
+// An Engine is single-goroutine: while Run is active, only the one
+// logical thread of control — the dispatch loop and the process it has
+// currently resumed — may touch the engine. The parallel experiment
+// harness (internal/harness) relies on this by giving every concurrent
+// task its own Engine; it never shares one across workers. Scheduling
+// onto an engine from a second goroutine while Run is active panics
+// with a diagnostic rather than silently corrupting the event heap
+// (see checkOwner).
 package sim
 
 import (
 	"container/heap"
 	"fmt"
 	"math"
+	"runtime"
+	"sync/atomic"
 )
 
 // Event is a scheduled callback. It can be cancelled before it fires.
@@ -72,6 +85,43 @@ type Engine struct {
 	queue   eventHeap
 	procs   int // live processes, for leak detection
 	stopped bool
+
+	// Misuse detection for the one-engine-per-goroutine invariant:
+	// while running is set, owner holds the goroutine id of the single
+	// logical thread of control (the dispatch loop, or the process it
+	// has resumed — the handoff points in proc.go keep it current).
+	// Both are atomics only so that a misbehaving second goroutine can
+	// read them race-free on its way to the diagnostic panic.
+	running atomic.Bool
+	owner   atomic.Int64
+}
+
+// gid returns the current goroutine's id, parsed from the header line
+// of its stack trace ("goroutine N [...]"). The buffer is deliberately
+// tiny: only the header is needed, and truncating early keeps the call
+// cheap enough for every Schedule during Run.
+func gid() int64 {
+	var buf [32]byte
+	n := runtime.Stack(buf[:], false)
+	var id int64
+	for _, c := range buf[len("goroutine "):n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + int64(c-'0')
+	}
+	return id
+}
+
+// checkOwner panics if the calling goroutine is not the engine's
+// current thread of control while Run is active. Called before any
+// state is touched, so the misuse path mutates nothing.
+func (e *Engine) checkOwner() {
+	if e.running.Load() && gid() != e.owner.Load() {
+		panic("sim: engine used from a second goroutine while Run is active; " +
+			"an Engine is single-goroutine — give each concurrent task its own " +
+			"engine (see the package comment and DESIGN.md, Parallel execution)")
+	}
 }
 
 // NewEngine returns an engine with the clock at zero and an empty queue.
@@ -85,14 +135,22 @@ func (e *Engine) Now() float64 { return e.now }
 // Schedule queues fn to run after delay seconds of virtual time.
 // A negative delay is an error in the caller; it panics.
 func (e *Engine) Schedule(delay float64, fn func()) *Event {
+	e.checkOwner()
 	if delay < 0 || math.IsNaN(delay) {
 		panic(fmt.Sprintf("sim: negative or NaN delay %v", delay))
 	}
-	return e.At(e.now+delay, fn)
+	return e.at(e.now+delay, fn)
 }
 
 // At queues fn to run at absolute virtual time t (>= Now).
 func (e *Engine) At(t float64, fn func()) *Event {
+	e.checkOwner()
+	return e.at(t, fn)
+}
+
+// at is At after the ownership check (so Schedule pays for one check,
+// not two).
+func (e *Engine) at(t float64, fn func()) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling in the past: t=%v now=%v", t, e.now))
 	}
@@ -109,6 +167,9 @@ func (e *Engine) Stop() { e.stopped = true }
 // clock would pass limit (use math.Inf(1) for no limit). It returns the
 // final virtual time.
 func (e *Engine) Run(limit float64) float64 {
+	e.owner.Store(gid())
+	e.running.Store(true)
+	defer e.running.Store(false)
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {
 		ev := e.queue[0]

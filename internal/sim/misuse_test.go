@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// Scheduling onto an engine from a second goroutine while Run is active
+// must panic with a diagnostic, not corrupt the event heap. This is the
+// invariant the parallel experiment harness relies on (one engine per
+// worker task).
+func TestScheduleFromSecondGoroutinePanics(t *testing.T) {
+	e := NewEngine()
+	got := make(chan any, 1)
+	e.Schedule(0, func() {
+		done := make(chan struct{})
+		go func() {
+			defer func() {
+				got <- recover()
+				close(done)
+			}()
+			e.Schedule(1, func() {})
+		}()
+		<-done
+	})
+	e.RunAll()
+	r := <-got
+	if r == nil {
+		t.Fatal("Schedule from a second goroutine during Run did not panic")
+	}
+	msg, ok := r.(string)
+	if !ok || !strings.Contains(msg, "second goroutine") {
+		t.Fatalf("panic message %v does not explain the misuse", r)
+	}
+}
+
+// The same misuse through At must hit the same check.
+func TestAtFromSecondGoroutinePanics(t *testing.T) {
+	e := NewEngine()
+	got := make(chan any, 1)
+	e.Schedule(0, func() {
+		done := make(chan struct{})
+		go func() {
+			defer func() {
+				got <- recover()
+				close(done)
+			}()
+			e.At(2, func() {})
+		}()
+		<-done
+	})
+	e.RunAll()
+	if <-got == nil {
+		t.Fatal("At from a second goroutine during Run did not panic")
+	}
+}
+
+// Legitimate single-goroutine use — including from engine processes,
+// which run on their own goroutines but only ever hold control one at
+// a time — must not trip the ownership check.
+func TestOwnershipCheckAllowsProcesses(t *testing.T) {
+	e := NewEngine()
+	sum := 0
+	e.Go("worker", func(p *Proc) {
+		p.Wait(1) // park/resume crosses goroutines legitimately
+		p.eng.Schedule(1, func() { sum += 10 })
+		p.Wait(3)
+		sum++
+	})
+	e.Schedule(0, func() { sum += 100 })
+	e.RunAll()
+	if sum != 111 {
+		t.Fatalf("sum = %d, want 111", sum)
+	}
+	// After Run returns, scheduling from any goroutine is allowed again
+	// (the engine is between runs).
+	doneCh := make(chan struct{})
+	go func() {
+		defer close(doneCh)
+		e.Schedule(0, func() {})
+	}()
+	<-doneCh
+}

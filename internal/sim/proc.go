@@ -36,6 +36,7 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 	e.procs++
 	go func() {
 		<-p.resume
+		e.owner.Store(gid()) // control handed to this process
 		defer func() {
 			p.dead = true
 			e.procs--
@@ -58,6 +59,7 @@ func (e *Engine) switchTo(p *Proc) {
 	}
 	p.resume <- struct{}{}
 	<-p.parked
+	e.owner.Store(gid()) // control back in the dispatch loop
 	if p.panicV != nil {
 		panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, p.panicV))
 	}
@@ -67,6 +69,7 @@ func (e *Engine) switchTo(p *Proc) {
 func (p *Proc) park() {
 	p.parked <- struct{}{}
 	<-p.resume
+	p.eng.owner.Store(gid()) // control handed back to this process
 }
 
 // Wait suspends the process for d seconds of virtual time.
