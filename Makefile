@@ -1,11 +1,14 @@
 # Verification gates for the mobilehpc reproduction. `make check` is
-# the full wall a PR must clear: vet, build, the tier-1 test suite, and
-# the race smoke pass that exercises the parallel experiment pool.
+# the full wall a PR must clear: vet, build, the tier-1 test suite, the
+# race smoke pass that exercises the parallel experiment pool, and the
+# telemetry smoke run that proves the exporters emit valid JSON without
+# perturbing stdout.
 GO ?= go
+TMP ?= /tmp/mhpc-smoke
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench telemetry-smoke
 
-check: vet build test race
+check: vet build test race telemetry-smoke
 
 vet:
 	$(GO) vet ./...
@@ -21,3 +24,14 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# End-to-end observability gate: run the full quick registry with every
+# telemetry exporter on, validate both JSON artefacts, and re-check
+# that stdout stayed byte-identical to the plain serial run.
+telemetry-smoke:
+	rm -rf $(TMP) && mkdir -p $(TMP)
+	$(GO) build -o $(TMP)/mhpc ./cmd/mhpc
+	$(TMP)/mhpc all -quick -j 4 -trace-out $(TMP)/trace.json -report $(TMP)/manifest.json > $(TMP)/out-telemetry.txt
+	$(TMP)/mhpc all -quick -j 1 > $(TMP)/out-plain.txt
+	cmp $(TMP)/out-telemetry.txt $(TMP)/out-plain.txt
+	$(GO) run ./cmd/jsoncheck $(TMP)/trace.json $(TMP)/manifest.json

@@ -19,7 +19,9 @@ import (
 	"mobilehpc/internal/kernels"
 	"mobilehpc/internal/linalg"
 	"mobilehpc/internal/metrics"
+	"mobilehpc/internal/obs"
 	"mobilehpc/internal/perf"
+	"mobilehpc/internal/sim"
 	"mobilehpc/internal/soc"
 	"mobilehpc/internal/stream"
 	"mobilehpc/internal/trend"
@@ -149,6 +151,42 @@ func BenchmarkRunAllJobs(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkTelemetryOverhead measures what the PR-2 instrumentation
+// costs the full quick registry. "off" is the shipping default (no
+// collector installed: every instrumented site is one atomic load or
+// one nil check); "on" attaches a live collector plus the sim
+// observer and discards the exports. The off/BenchmarkRunAllJobs-j1
+// delta against the pre-instrumentation baseline recorded in
+// DESIGN.md is the <2% acceptance bound.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	runAll := func(b *testing.B) {
+		if err := harness.RunAll(io.Discard, harness.Options{Quick: true, Jobs: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runAll(b)
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := obs.New()
+			obs.SetActive(c)
+			sim.SetDefaultObserver(obs.NewSimObserver(c))
+			runAll(b)
+			sim.SetDefaultObserver(nil)
+			obs.SetActive(nil)
+			if err := c.WriteChromeTrace(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+			if err := c.WriteManifest(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // ---- native-code micro-benchmarks: the real kernels on the host ----

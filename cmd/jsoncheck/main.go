@@ -1,0 +1,38 @@
+// Command jsoncheck validates that each argument file parses as JSON.
+// It exists for the telemetry-smoke gate in the Makefile: the Chrome
+// trace and run manifest that `mhpc all -trace-out ... -report ...`
+// emits must be loadable JSON, and a shell pipeline needs a tool with
+// no dependencies beyond the Go toolchain to assert that.
+//
+// Usage:
+//
+//	go run ./cmd/jsoncheck file.json [file2.json ...]
+//
+// Exits non-zero naming the first file that is missing or malformed.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: jsoncheck file.json [file2.json ...]")
+		os.Exit(2)
+	}
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jsoncheck: %v\n", err)
+			os.Exit(1)
+		}
+		var v any
+		if err := json.Unmarshal(data, &v); err != nil {
+			fmt.Fprintf(os.Stderr, "jsoncheck: %s: invalid JSON: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("jsoncheck: %s ok (%d bytes)\n", path, len(data))
+	}
+}

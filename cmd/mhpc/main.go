@@ -12,14 +12,27 @@
 //	mhpc tune [-n N]           ATLAS-style gemm block autotuning on this host
 //
 // run and all accept -j N to execute experiments on a worker pool of N
-// goroutines (0 = one per CPU). Output is byte-identical at every -j;
-// the MHPC_PARALLEL environment variable sets the default.
+// goroutines (N a positive integer, or "auto" for one per CPU).
+// Output is byte-identical at every -j; the MHPC_PARALLEL environment
+// variable sets the default. Invalid values — zero, negative, or
+// non-numeric — are rejected with an error rather than silently
+// falling back to a default.
+//
+// run and all also take the telemetry flags: -trace-out FILE writes a
+// chrome://tracing JSON trace of the run, -report FILE writes a JSON
+// run manifest, -v streams live per-experiment progress to stderr,
+// and -pprof ADDR serves net/http/pprof. All telemetry is out-of-band
+// (stderr and files), so stdout stays byte-identical to a
+// telemetry-off run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
+	"net/http"
+	_ "net/http/pprof" // registered on the default mux, served behind -pprof
 	"os"
 	"runtime"
 	"strconv"
@@ -29,28 +42,35 @@ import (
 	"mobilehpc/internal/harness"
 	"mobilehpc/internal/linalg"
 	"mobilehpc/internal/mpi"
+	"mobilehpc/internal/obs"
 	"mobilehpc/internal/perf"
+	"mobilehpc/internal/sim"
 )
 
-// defaultJobs is the -j default: the MHPC_PARALLEL environment
-// variable when set to a non-negative integer, else 1 (serial legacy
-// path).
-func defaultJobs() int {
-	if s := os.Getenv("MHPC_PARALLEL"); s != "" {
-		if n, err := strconv.Atoi(s); err == nil && n >= 0 {
-			return n
-		}
-		fmt.Fprintf(os.Stderr, "mhpc: ignoring invalid MHPC_PARALLEL=%q\n", s)
+// defaultJobsSpec is the textual -j default: the MHPC_PARALLEL
+// environment variable when set (validated by parseJobs when the
+// command runs, so garbage in the environment is an error, not a
+// silent fallback), else "1" — the serial legacy path.
+func defaultJobsSpec() string {
+	if s, ok := os.LookupEnv("MHPC_PARALLEL"); ok {
+		return s
 	}
-	return 1
+	return "1"
 }
 
-// resolveJobs maps the -j 0 "auto" setting to one worker per CPU.
-func resolveJobs(j int) int {
-	if j == 0 {
-		return runtime.GOMAXPROCS(0)
+// parseJobs validates a -j / MHPC_PARALLEL value: a positive integer,
+// or "auto" for one worker per CPU. Zero, negative, and non-numeric
+// values are rejected with a descriptive error.
+func parseJobs(s string) (int, error) {
+	if s == "auto" {
+		return runtime.GOMAXPROCS(0), nil
 	}
-	return j
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf(
+			"invalid worker count %q: want a positive integer or \"auto\" (one per CPU)", s)
+	}
+	return n, nil
 }
 
 func main() {
@@ -94,8 +114,107 @@ func usage() {
   mhpc trace [-nodes N] [-steps S] traced run with timeline + bottleneck analysis
   mhpc tune [-n N]                 ATLAS-style gemm autotuning on this host
 
--j N runs experiments on a pool of N workers (0 = one per CPU, default
-from MHPC_PARALLEL or 1); output is byte-identical at every -j.`)
+-j N runs experiments on a pool of N workers (a positive integer, or
+'auto' for one per CPU; default from MHPC_PARALLEL or 1); output is
+byte-identical at every -j.
+
+run and all also accept the telemetry flags:
+  -trace-out FILE   write a chrome://tracing JSON trace of the run
+  -report FILE      write a JSON run manifest (wall times, counters, seeds)
+  -v                live per-experiment progress on stderr
+  -pprof ADDR       serve net/http/pprof on ADDR (e.g. localhost:6060)
+Telemetry is out-of-band (files/stderr); stdout stays byte-identical.`)
+}
+
+// telemetryFlags is the shared -trace-out/-report/-v/-pprof flag set
+// of the run and all subcommands.
+type telemetryFlags struct {
+	traceOut  *string
+	report    *string
+	verbose   *bool
+	pprofAddr *string
+}
+
+// addTelemetryFlags registers the telemetry flags on fs.
+func addTelemetryFlags(fs *flag.FlagSet) *telemetryFlags {
+	return &telemetryFlags{
+		traceOut:  fs.String("trace-out", "", "write a chrome://tracing JSON trace to this file"),
+		report:    fs.String("report", "", "write a JSON run manifest to this file"),
+		verbose:   fs.Bool("v", false, "live per-experiment progress on stderr"),
+		pprofAddr: fs.String("pprof", "", "serve net/http/pprof on this address"),
+	}
+}
+
+// telemetry is one command's active telemetry session: the collector
+// plus the export destinations to write when the run finishes.
+type telemetry struct {
+	c        *obs.Collector
+	traceOut string
+	report   string
+}
+
+// startTelemetry wires up the run's observability: a collector when
+// any exporter or -v is requested (installed process-wide and fed by
+// the sim-engine observer hook), and the pprof server when -pprof is
+// given. Returns nil (a no-op session) when no telemetry was asked
+// for, so the instrumented fast paths stay disabled.
+func startTelemetry(tf *telemetryFlags, command string, jobs int, quick bool) *telemetry {
+	if *tf.pprofAddr != "" {
+		addr := *tf.pprofAddr
+		go func() {
+			if err := http.ListenAndServe(addr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "mhpc: pprof server on %s: %v\n", addr, err)
+			}
+		}()
+	}
+	if *tf.traceOut == "" && *tf.report == "" && !*tf.verbose {
+		return nil
+	}
+	c := obs.New()
+	c.SetMeta("command", command)
+	c.SetMeta("jobs", strconv.Itoa(jobs))
+	c.SetMeta("quick", strconv.FormatBool(quick))
+	c.SetMeta("experiments", strconv.Itoa(len(core.Experiments())))
+	if *tf.verbose {
+		c.SetVerbose(os.Stderr)
+	}
+	obs.SetActive(c)
+	sim.SetDefaultObserver(obs.NewSimObserver(c))
+	return &telemetry{c: c, traceOut: *tf.traceOut, report: *tf.report}
+}
+
+// finish detaches the collector and writes the requested export
+// files. Safe on a nil session.
+func (t *telemetry) finish() error {
+	if t == nil {
+		return nil
+	}
+	sim.SetDefaultObserver(nil)
+	obs.SetActive(nil)
+	if t.traceOut != "" {
+		if err := writeFileWith(t.traceOut, t.c.WriteChromeTrace); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+	}
+	if t.report != "" {
+		if err := writeFileWith(t.report, t.c.WriteManifest); err != nil {
+			return fmt.Errorf("writing manifest: %w", err)
+		}
+	}
+	return nil
+}
+
+// writeFileWith creates path and streams write(f) into it.
+func writeFileWith(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func list() error {
@@ -109,15 +228,23 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "reduced node counts / steps")
 	csv := fs.Bool("csv", false, "emit CSV instead of a text table")
-	jobs := fs.Int("j", defaultJobs(), "worker pool size (0 = one per CPU)")
+	jobs := fs.String("j", defaultJobsSpec(), "worker pool size (a positive integer, or 'auto' = one per CPU)")
+	tf := addTelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() == 0 {
 		return fmt.Errorf("run: need at least one experiment id (try 'mhpc list')")
 	}
-	tabs, err := harness.Tables(fs.Args(),
-		harness.Options{Quick: *quick, Jobs: resolveJobs(*jobs)})
+	j, err := parseJobs(*jobs)
+	if err != nil {
+		return fmt.Errorf("run: %w", err)
+	}
+	tel := startTelemetry(tf, "run", j, *quick)
+	tabs, err := harness.Tables(fs.Args(), harness.Options{Quick: *quick, Jobs: j})
+	if ferr := tel.finish(); err == nil {
+		err = ferr
+	}
 	if err != nil {
 		return err
 	}
@@ -136,11 +263,21 @@ func run(args []string) error {
 func all(args []string) error {
 	fs := flag.NewFlagSet("all", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "reduced node counts / steps")
-	jobs := fs.Int("j", defaultJobs(), "worker pool size (0 = one per CPU)")
+	jobs := fs.String("j", defaultJobsSpec(), "worker pool size (a positive integer, or 'auto' = one per CPU)")
+	tf := addTelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	return core.RunAllExperimentsParallel(os.Stdout, *quick, resolveJobs(*jobs))
+	j, err := parseJobs(*jobs)
+	if err != nil {
+		return fmt.Errorf("all: %w", err)
+	}
+	tel := startTelemetry(tf, "all", j, *quick)
+	err = core.RunAllExperimentsParallel(os.Stdout, *quick, j)
+	if ferr := tel.finish(); err == nil {
+		err = ferr
+	}
+	return err
 }
 
 func runTrace(args []string) error {

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"runtime"
+	"testing"
+)
+
+// parseJobs must accept positive integers and "auto", and reject —
+// with an error, never a silent fallback — zero, negative, and
+// garbage values, whether they come from -j or MHPC_PARALLEL.
+func TestParseJobs(t *testing.T) {
+	auto := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		in      string
+		want    int
+		wantErr bool
+	}{
+		{"1", 1, false},
+		{"4", 4, false},
+		{"96", 96, false},
+		{"auto", auto, false},
+		{"0", 0, true},
+		{"-1", 0, true},
+		{"-8", 0, true},
+		{"", 0, true},
+		{"abc", 0, true},
+		{"1.5", 0, true},
+		{"4 ", 0, true},
+		{" 4", 0, true},
+		{"0x4", 0, true},
+		{"AUTO", 0, true}, // case-sensitive, like every other flag value
+	}
+	for _, c := range cases {
+		got, err := parseJobs(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("parseJobs(%q) = %d, want error", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseJobs(%q) unexpected error: %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("parseJobs(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// The -j default comes from MHPC_PARALLEL verbatim (validation
+// happens at parse time so a bad environment value is an error when
+// the command runs, not a silent fallback to serial).
+func TestDefaultJobsSpec(t *testing.T) {
+	t.Setenv("MHPC_PARALLEL", "7")
+	if got := defaultJobsSpec(); got != "7" {
+		t.Errorf("defaultJobsSpec with MHPC_PARALLEL=7 = %q", got)
+	}
+	t.Setenv("MHPC_PARALLEL", "garbage")
+	if got := defaultJobsSpec(); got != "garbage" {
+		t.Errorf("defaultJobsSpec must pass the raw value through, got %q", got)
+	}
+	if _, err := parseJobs(defaultJobsSpec()); err == nil {
+		t.Error("garbage MHPC_PARALLEL must fail parseJobs")
+	}
+}

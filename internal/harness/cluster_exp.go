@@ -111,29 +111,31 @@ func runFig6(o Options) *Table {
 	// One sub-run per node count, each on its own clusters (and thus
 	// its own sim engines); merged in node order so the table is
 	// byte-identical at any -j.
-	for _, cells := range parmap(o.Jobs, len(nodes), func(i int) []string {
-		n := nodes[i]
-		cells := []string{fmt.Sprintf("%d", n)}
-		cells = append(cells, fmt.Sprintf("%.1f", hplAt(n)))
-		s := specfem.Run(cluster.Tibidabo(n), n, specCfg()).Elapsed
-		cells = append(cells, fmt.Sprintf("%.1f", specBase/s*float64(base)))
-		h := hydro.Run(cluster.Tibidabo(n), n, hydroCfg()).Elapsed
-		cells = append(cells, fmt.Sprintf("%.1f", hydroBase/h*float64(base)))
-		m := md.Run(cluster.Tibidabo(n), n, mdCfg()).Elapsed
-		cells = append(cells, fmt.Sprintf("%.1f", mdBase/m*float64(base)))
-		if n < pepcMin || pepcBaseNodes == 0 {
-			cells = append(cells, "-")
-		} else {
-			r, err := pepc.Run(cluster.Tibidabo(n), n, pepcCfg())
-			if err != nil {
+	for _, cells := range parmapObs("subrun",
+		func(i int) string { return fmt.Sprintf("fig6/n=%d", nodes[i]) },
+		o.Jobs, len(nodes), func(i int) []string {
+			n := nodes[i]
+			cells := []string{fmt.Sprintf("%d", n)}
+			cells = append(cells, fmt.Sprintf("%.1f", hplAt(n)))
+			s := specfem.Run(cluster.Tibidabo(n), n, specCfg()).Elapsed
+			cells = append(cells, fmt.Sprintf("%.1f", specBase/s*float64(base)))
+			h := hydro.Run(cluster.Tibidabo(n), n, hydroCfg()).Elapsed
+			cells = append(cells, fmt.Sprintf("%.1f", hydroBase/h*float64(base)))
+			m := md.Run(cluster.Tibidabo(n), n, mdCfg()).Elapsed
+			cells = append(cells, fmt.Sprintf("%.1f", mdBase/m*float64(base)))
+			if n < pepcMin || pepcBaseNodes == 0 {
 				cells = append(cells, "-")
 			} else {
-				cells = append(cells, fmt.Sprintf("%.1f",
-					pepcBase/r.Elapsed*float64(pepcBaseNodes)))
+				r, err := pepc.Run(cluster.Tibidabo(n), n, pepcCfg())
+				if err != nil {
+					cells = append(cells, "-")
+				} else {
+					cells = append(cells, fmt.Sprintf("%.1f",
+						pepcBase/r.Elapsed*float64(pepcBaseNodes)))
+				}
 			}
-		}
-		return cells
-	}) {
+			return cells
+		}) {
 		t.AddRow(cells...)
 	}
 	t.Notes = append(t.Notes,
@@ -194,16 +196,18 @@ func runGreen500(o Options) *Table {
 	if o.Quick {
 		nodes = []int{4, 16}
 	}
-	for _, row := range parmap(o.Jobs, len(nodes), func(i int) []string {
-		n := nodes[i]
-		cl := cluster.Tibidabo(n)
-		N := int(8192 * math.Sqrt(float64(n)))
-		r := hpl.Run(cl, n, hpl.Config{N: N, RealN: 64})
-		w := cl.PowerW(2)
-		return []string{fmt.Sprintf("%d", n), fmt.Sprintf("%d", N),
-			fmt.Sprintf("%.1f", r.GFLOPS), fmt.Sprintf("%.0f%%", r.Efficiency*100),
-			fmt.Sprintf("%.0f", w), fmt.Sprintf("%.0f", metrics.MFLOPSPerWatt(r.GFLOPS, w))}
-	}) {
+	for _, row := range parmapObs("subrun",
+		func(i int) string { return fmt.Sprintf("green500/n=%d", nodes[i]) },
+		o.Jobs, len(nodes), func(i int) []string {
+			n := nodes[i]
+			cl := cluster.Tibidabo(n)
+			N := int(8192 * math.Sqrt(float64(n)))
+			r := hpl.Run(cl, n, hpl.Config{N: N, RealN: 64})
+			w := cl.PowerW(2)
+			return []string{fmt.Sprintf("%d", n), fmt.Sprintf("%d", N),
+				fmt.Sprintf("%.1f", r.GFLOPS), fmt.Sprintf("%.0f%%", r.Efficiency*100),
+				fmt.Sprintf("%.0f", w), fmt.Sprintf("%.0f", metrics.MFLOPSPerWatt(r.GFLOPS, w))}
+		}) {
 		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,

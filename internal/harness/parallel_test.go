@@ -2,9 +2,13 @@ package harness
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"strings"
 	"testing"
+
+	"mobilehpc/internal/obs"
+	"mobilehpc/internal/sim"
 )
 
 // Determinism property: every registered experiment, run twice
@@ -80,6 +84,113 @@ func TestRunAllParallelByteIdentical(t *testing.T) {
 	}
 	if serial.String() != parallel.String() {
 		t.Fatal("RunAll with Jobs=4 is not byte-identical to the serial run")
+	}
+}
+
+// The PR-2 acceptance property: a parallel RunAll with full telemetry
+// attached (collector + sim observer, Chrome trace and manifest
+// exporters) keeps stdout byte-identical to the serial telemetry-off
+// run, produces a Chrome trace whose complete events all carry
+// pid/tid/ts/dur, and produces a manifest covering every registry
+// experiment. In -short (the race smoke wall) the serial reference
+// pass is skipped — the telemetry-on parallel pass still runs under
+// -race, which is what exercises the collector's concurrency.
+func TestRunAllTelemetryByteIdenticalAndExports(t *testing.T) {
+	var ref bytes.Buffer
+	if !testing.Short() {
+		if err := RunAll(&ref, Options{Quick: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c := obs.New()
+	c.SetMeta("command", "all")
+	c.SetMeta("jobs", "4")
+	obs.SetActive(c)
+	sim.SetDefaultObserver(obs.NewSimObserver(c))
+	var out bytes.Buffer
+	err := RunAll(&out, Options{Quick: true, Jobs: 4})
+	sim.SetDefaultObserver(nil)
+	obs.SetActive(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !testing.Short() && out.String() != ref.String() {
+		t.Error("stdout with telemetry+Jobs=4 differs from the serial telemetry-off run")
+	}
+
+	// Chrome trace: valid JSON, complete events only (plus metadata),
+	// every one carrying pid/tid/ts/dur, with every experiment named.
+	var traceBuf bytes.Buffer
+	if err := c.WriteChromeTrace(&traceBuf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traceBuf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	tracedExps := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		switch ph, _ := ev["ph"].(string); ph {
+		case "M": // metadata (process/thread names)
+		case "X":
+			for _, field := range []string{"name", "pid", "tid", "ts", "dur"} {
+				if _, ok := ev[field]; !ok {
+					t.Fatalf("complete event %v missing field %q", ev["name"], field)
+				}
+			}
+			if cat, _ := ev["cat"].(string); cat == "experiment" {
+				tracedExps[ev["name"].(string)] = true
+			}
+		default:
+			t.Errorf("unexpected trace event phase %q", ph)
+		}
+	}
+
+	// Manifest: valid JSON covering every registry experiment, with
+	// the engine/Monte-Carlo counters flowing.
+	var manBuf bytes.Buffer
+	if err := c.WriteManifest(&manBuf); err != nil {
+		t.Fatal(err)
+	}
+	var man obs.Manifest
+	if err := json.Unmarshal(manBuf.Bytes(), &man); err != nil {
+		t.Fatalf("manifest output is not valid JSON: %v", err)
+	}
+	manifestExps := map[string]bool{}
+	for _, e := range man.Experiments {
+		manifestExps[e.ID] = true
+	}
+	for _, e := range Experiments() {
+		if !tracedExps[e.ID] {
+			t.Errorf("Chrome trace has no experiment span for %s", e.ID)
+		}
+		if !manifestExps[e.ID] {
+			t.Errorf("manifest does not cover experiment %s", e.ID)
+		}
+	}
+	if man.Counters["sim.events.dispatched"] == 0 {
+		t.Error("manifest: sim.events.dispatched counter did not flow")
+	}
+	if man.Counters["mc.trials"] == 0 {
+		t.Error("manifest: mc.trials counter did not flow")
+	}
+	if man.Counters["pool.tasks"] == 0 {
+		t.Error("manifest: pool.tasks counter did not flow")
+	}
+	if man.Gauges["sim.heap.depth"] == 0 {
+		t.Error("manifest: sim.heap.depth watermark did not flow")
+	}
+	found := false
+	for _, s := range man.Seeds {
+		if strings.HasPrefix(s.Label, "stability/mc-survival/") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("manifest seeds missing the stability labels: %+v", man.Seeds)
 	}
 }
 

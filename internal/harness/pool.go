@@ -19,7 +19,10 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"strings"
 	"sync"
+
+	"mobilehpc/internal/obs"
 )
 
 // parmap runs task(i) for i in [0, n) on up to `jobs` worker
@@ -29,13 +32,42 @@ import (
 // does not crash the process from a worker goroutine: the first panic
 // is captured and re-raised on the caller once all workers drain.
 func parmap[T any](jobs, n int, task func(i int) T) []T {
+	return parmapObs("", nil, jobs, n, task)
+}
+
+// parmapObs is parmap with telemetry: when a collector is active and
+// a namer is given, each task execution is wrapped in a span named
+// name(i) of the given category, tagged with the pool slot that ran
+// it and parented under the span open on the submitting goroutine —
+// that is how experiment spans nest under the run and sub-run spans
+// nest under their experiment. The pool.queued/pool.active gauges and
+// the pool.tasks counter track slot occupancy. With no collector (or
+// no namer) the telemetry path vanishes behind one atomic load and
+// execution is exactly parmap's.
+func parmapObs[T any](cat string, name func(i int) string, jobs, n int, task func(i int) T) []T {
+	run := func(worker, i int) T { return task(i) }
+	if ob := obs.Active(); ob != nil && name != nil {
+		parent := ob.CurrentSpan()
+		queued, active := ob.Gauge("pool.queued"), ob.Gauge("pool.active")
+		tasks := ob.Counter("pool.tasks")
+		queued.Add(int64(n))
+		run = func(worker, i int) T {
+			queued.Add(-1)
+			active.Add(1)
+			defer active.Add(-1)
+			tasks.Add(1)
+			sp := ob.StartWorkerSpan(name(i), cat, worker, parent)
+			defer sp.End()
+			return task(i)
+		}
+	}
 	out := make([]T, n)
 	if jobs > n {
 		jobs = n
 	}
 	if jobs <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
-			out[i] = task(i)
+			out[i] = run(0, i)
 		}
 		return out
 	}
@@ -47,7 +79,7 @@ func parmap[T any](jobs, n int, task func(i int) T) []T {
 	idx := make(chan int)
 	for w := 0; w < jobs; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range idx {
 				func() {
@@ -56,10 +88,10 @@ func parmap[T any](jobs, n int, task func(i int) T) []T {
 							panicOnce.Do(func() { panicValue = r })
 						}
 					}()
-					out[i] = task(i)
+					out[i] = run(worker, i)
 				}()
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		idx <- i
@@ -83,7 +115,15 @@ func TaskSeed(parts ...string) uint64 {
 		h.Write([]byte(p))
 		h.Write([]byte{0}) // unambiguous separator: ("a","b") != ("ab")
 	}
-	return h.Sum64()
+	seed := h.Sum64()
+	// Telemetry only: the run manifest lists every (label path, seed)
+	// derivation so sampled experiments can be re-derived exactly. The
+	// seed value itself never depends on the collector, and the label
+	// join is only paid when a collector is attached.
+	if ob := obs.Active(); ob != nil {
+		ob.RecordSeed(strings.Join(parts, "/"), seed)
+	}
+	return seed
 }
 
 // TaskRNG returns a private rand.Rand for one task, seeded with

@@ -51,25 +51,29 @@ func runFig7Sweep(o Options) *Table {
 		bwSizes = append(bwSizes, m)
 	}
 	// Latency rows: the figure's 0-64 byte axis.
-	for _, row := range parmap(o.Jobs, len(latSizes), func(i int) []string {
-		m := latSizes[i]
-		cells := []string{fmt.Sprintf("%dB (lat)", m)}
-		for _, e := range eps {
-			cells = append(cells, fmt.Sprintf("%.1f", interconnect.OneWayLatency(e, m, 1.0)*1e6))
-		}
-		return cells
-	}) {
+	for _, row := range parmapObs("subrun",
+		func(i int) string { return fmt.Sprintf("fig7sweep/lat/%dB", latSizes[i]) },
+		o.Jobs, len(latSizes), func(i int) []string {
+			m := latSizes[i]
+			cells := []string{fmt.Sprintf("%dB (lat)", m)}
+			for _, e := range eps {
+				cells = append(cells, fmt.Sprintf("%.1f", interconnect.OneWayLatency(e, m, 1.0)*1e6))
+			}
+			return cells
+		}) {
 		t.AddRow(row...)
 	}
 	// Bandwidth rows: powers of four across the figure's log axis.
-	for _, row := range parmap(o.Jobs, len(bwSizes), func(i int) []string {
-		m := bwSizes[i]
-		cells := []string{fmtBytes(m) + " (bw)"}
-		for _, e := range eps {
-			cells = append(cells, fmt.Sprintf("%.1f", interconnect.EffectiveBandwidth(e, m, 1.0)))
-		}
-		return cells
-	}) {
+	for _, row := range parmapObs("subrun",
+		func(i int) string { return "fig7sweep/bw/" + fmtBytes(bwSizes[i]) },
+		o.Jobs, len(bwSizes), func(i int) []string {
+			m := bwSizes[i]
+			cells := []string{fmtBytes(m) + " (bw)"}
+			for _, e := range eps {
+				cells = append(cells, fmt.Sprintf("%.1f", interconnect.EffectiveBandwidth(e, m, 1.0)))
+			}
+			return cells
+		}) {
 		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,
@@ -134,10 +138,13 @@ func runHetero(o Options) *Table {
 	// finish early and idle at each assembly step. Both splits run on
 	// their own cluster, so they can share the pool.
 	splits := [][]float64{nil, weights}
-	runs := parmap(o.Jobs, len(splits), func(i int) specfem.Result {
-		return specfem.RunWeighted(hetero(), 10, specfem.Config{
-			Elements: elems, Steps: steps, RealElements: 16, Threads: 8}, splits[i])
-	})
+	splitName := []string{"hetero/uniform", "hetero/proportional"}
+	runs := parmapObs("subrun",
+		func(i int) string { return splitName[i] },
+		o.Jobs, len(splits), func(i int) specfem.Result {
+			return specfem.RunWeighted(hetero(), 10, specfem.Config{
+				Elements: elems, Steps: steps, RealElements: 16, Threads: 8}, splits[i])
+		})
 	uni, prop := runs[0], runs[1]
 
 	t.AddRowf("uniform|%.3f|1.00x", uni.Elapsed)

@@ -186,9 +186,10 @@ func ByID(id string) (Experiment, error) {
 // order.
 func RunAll(w io.Writer, opt Options) error {
 	exps := Experiments()
-	tabs := parmap(opt.Jobs, len(exps), func(i int) *Table {
-		return exps[i].Run(opt)
-	})
+	tabs := parmapObs("experiment", func(i int) string { return exps[i].ID },
+		opt.Jobs, len(exps), func(i int) *Table {
+			return exps[i].Run(opt)
+		})
 	for _, tab := range tabs {
 		if err := tab.Render(w); err != nil {
 			return err
@@ -209,7 +210,8 @@ func Tables(ids []string, opt Options) ([]*Table, error) {
 		}
 		exps[i] = e
 	}
-	return parmap(opt.Jobs, len(exps), func(i int) *Table {
-		return exps[i].Run(opt)
-	}), nil
+	return parmapObs("experiment", func(i int) string { return exps[i].ID },
+		opt.Jobs, len(exps), func(i int) *Table {
+			return exps[i].Run(opt)
+		}), nil
 }

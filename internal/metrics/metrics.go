@@ -55,8 +55,13 @@ func Speedup(nodes []int, elapsed []float64) []float64 {
 	return out
 }
 
-// Efficiency is speedup divided by node count.
+// Efficiency is speedup divided by node count. Like Speedup, it
+// panics on a length mismatch or an empty series rather than
+// silently indexing out of range (or truncating) on caller error.
 func Efficiency(nodes []int, speedup []float64) []float64 {
+	if len(nodes) != len(speedup) || len(nodes) == 0 {
+		panic("metrics: mismatched efficiency series")
+	}
 	out := make([]float64, len(nodes))
 	for i := range nodes {
 		out[i] = speedup[i] / float64(nodes[i])

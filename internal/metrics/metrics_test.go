@@ -107,3 +107,31 @@ func TestLatencyPenaltyPanics(t *testing.T) {
 	}()
 	LatencyPenaltyPct(-1, 1)
 }
+
+// Regression: Efficiency must validate its series lengths like
+// Speedup does, instead of indexing speedup[i] out of range (or
+// silently truncating) when the caller passes mismatched slices.
+func TestEfficiencyGuardsAndValues(t *testing.T) {
+	nodes := []int{4, 8, 16}
+	eff := Efficiency(nodes, []float64{4, 6, 8})
+	want := []float64{1.0, 0.75, 0.5}
+	for i := range want {
+		if math.Abs(eff[i]-want[i]) > 1e-12 {
+			t.Errorf("Efficiency[%d] = %v, want %v", i, eff[i], want[i])
+		}
+	}
+	for i, fn := range []func(){
+		func() { Efficiency([]int{4, 8}, []float64{4}) }, // speedup too short
+		func() { Efficiency([]int{4}, []float64{4, 6}) }, // nodes too short
+		func() { Efficiency(nil, nil) },                  // empty series
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic on mismatched efficiency series", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

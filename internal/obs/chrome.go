@@ -1,0 +1,110 @@
+package obs
+
+// Chrome trace-event exporter: the collector's spans rendered in the
+// JSON format that chrome://tracing and https://ui.perfetto.dev load
+// directly. Every span becomes a "complete" event (ph "X") with
+// pid/tid/ts/dur; each goroutine that ran spans becomes one thread
+// row, so the worker pool's slot occupancy is visible as back-to-back
+// blocks on the pool goroutines' rows.
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// chromeEvent is one trace event in the Chrome trace-event format.
+// Field names and units (microseconds) are fixed by the format.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	PID  int64          `json:"pid"`
+	TID  int64          `json:"tid"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object chrome://tracing expects.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders every finished span as a Chrome
+// trace-event JSON document on w. The synthetic root "run" span
+// covers the whole collection window; thread rows are goroutines
+// (named with the pool slot they served, when known).
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	spans, _, _, _, meta, wall := c.snapshot()
+
+	us := func(d float64) float64 { return d }
+	dur := func(v float64) *float64 { return &v }
+
+	const pid = 1
+	events := []chromeEvent{
+		{Name: "process_name", Ph: "M", PID: pid, TID: 0,
+			Args: map[string]any{"name": "mhpc"}},
+		{Name: "run", Cat: "run", Ph: "X", PID: pid, TID: 0,
+			TS: 0, Dur: dur(us(wall.Seconds() * 1e6)),
+			Args: metaArgs(meta)},
+	}
+
+	// Name each goroutine row after the widest-scoped span it ran, so
+	// the top-level pool workers read as "slot N".
+	rowName := map[int64]string{}
+	for _, s := range spans {
+		if s.Worker >= 0 && rowName[s.GID] == "" {
+			rowName[s.GID] = "worker (slot " + strconv.Itoa(s.Worker) + ")"
+		}
+	}
+	rows := make([]int64, 0, len(rowName))
+	for g := range rowName {
+		rows = append(rows, g)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+	for _, g := range rows {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: pid, TID: g,
+			Args: map[string]any{"name": rowName[g]},
+		})
+	}
+
+	sorted := append([]*Span(nil), spans...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Start != sorted[j].Start {
+			return sorted[i].Start < sorted[j].Start
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+	for _, s := range sorted {
+		args := map[string]any{"id": s.ID, "parent": s.Parent}
+		if s.Worker >= 0 {
+			args["worker"] = s.Worker
+		}
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Value
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name, Cat: s.Cat, Ph: "X", PID: pid, TID: s.GID,
+			TS:   us(s.Start.Seconds() * 1e6),
+			Dur:  dur(us(s.Dur.Seconds() * 1e6)),
+			Args: args,
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// metaArgs converts manifest metadata to a trace args map.
+func metaArgs(meta map[string]string) map[string]any {
+	args := make(map[string]any, len(meta))
+	for k, v := range meta {
+		args[k] = v
+	}
+	return args
+}

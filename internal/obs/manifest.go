@@ -1,0 +1,98 @@
+package obs
+
+// Run-manifest exporter: a deterministic-friendly JSON summary of one
+// harness run — per-experiment wall times, counter totals, gauge
+// watermarks, the seed labels used by sampled experiments, and the
+// toolchain versions. Wall-clock values naturally vary run to run,
+// but the *structure* is stable: experiments and seeds are sorted,
+// and Go marshals the counter/gauge maps in key order, so two runs of
+// the same command diff cleanly.
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"sort"
+)
+
+// ManifestExperiment is one experiment's entry in the run manifest.
+type ManifestExperiment struct {
+	ID          string  `json:"id"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Worker      int     `json:"worker"` // pool slot, -1 when serial
+	Subruns     int     `json:"subruns,omitempty"`
+}
+
+// ManifestSeed is one deterministic task-seed derivation: the label
+// path the harness hashed and the 64-bit seed it produced.
+type ManifestSeed struct {
+	Label string `json:"label"`
+	Seed  uint64 `json:"seed"`
+}
+
+// Manifest is the exported run summary.
+type Manifest struct {
+	Schema      string               `json:"schema"`
+	GoVersion   string               `json:"go_version"`
+	OS          string               `json:"os"`
+	Arch        string               `json:"arch"`
+	Meta        map[string]string    `json:"meta"`
+	WallSeconds float64              `json:"wall_seconds"`
+	Experiments []ManifestExperiment `json:"experiments"`
+	Counters    map[string]int64     `json:"counters"`
+	Gauges      map[string]int64     `json:"gauges"`
+	Seeds       []ManifestSeed       `json:"seeds"`
+	SpanCount   int                  `json:"span_count"`
+}
+
+// ManifestSchema identifies the manifest layout; bump on breaking
+// changes so downstream tooling can dispatch.
+const ManifestSchema = "mhpc-run-manifest/v1"
+
+// BuildManifest assembles the manifest from the collector's current
+// state. Safe to call while the run is still in flight (it
+// snapshots), though normally called once at the end.
+func (c *Collector) BuildManifest() *Manifest {
+	spans, counters, gauges, seeds, meta, wall := c.snapshot()
+	m := &Manifest{
+		Schema:      ManifestSchema,
+		GoVersion:   runtime.Version(),
+		OS:          runtime.GOOS,
+		Arch:        runtime.GOARCH,
+		Meta:        meta,
+		WallSeconds: wall.Seconds(),
+		Counters:    counters,
+		Gauges:      gauges,
+		SpanCount:   len(spans),
+	}
+	children := map[int64]int{}
+	for _, s := range spans {
+		children[s.Parent]++
+	}
+	for _, s := range spans {
+		if s.Cat != "experiment" {
+			continue
+		}
+		m.Experiments = append(m.Experiments, ManifestExperiment{
+			ID:          s.Name,
+			WallSeconds: s.Dur.Seconds(),
+			Worker:      s.Worker,
+			Subruns:     children[s.ID],
+		})
+	}
+	sort.Slice(m.Experiments, func(i, j int) bool {
+		return m.Experiments[i].ID < m.Experiments[j].ID
+	})
+	for label, seed := range seeds {
+		m.Seeds = append(m.Seeds, ManifestSeed{Label: label, Seed: seed})
+	}
+	sort.Slice(m.Seeds, func(i, j int) bool { return m.Seeds[i].Label < m.Seeds[j].Label })
+	return m
+}
+
+// WriteManifest writes the JSON run manifest to w.
+func (c *Collector) WriteManifest(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c.BuildManifest())
+}

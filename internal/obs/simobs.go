@@ -1,0 +1,48 @@
+package obs
+
+// Adapter between the sim engine's Observer hook and this package's
+// counters. It implements sim.Observer structurally — obs does not
+// import sim, sim does not import obs; the CLI (or a test) wires the
+// two together with sim.SetDefaultObserver(obs.NewSimObserver(c)).
+//
+// The engine calls these methods once per event on its own hot loop,
+// so the adapter pre-resolves its counters at construction time: each
+// callback is one or two atomic adds, no map lookups.
+
+// SimObserver counts discrete-event engine activity: events
+// scheduled, dispatched, and cancelled (counters sim.events.*) and
+// the event-heap depth high-watermark (gauge sim.heap.depth). One
+// observer serves every engine in the process — the counters are
+// atomic, and per-engine attribution is not needed for the manifest's
+// totals.
+type SimObserver struct {
+	scheduled  *Counter
+	dispatched *Counter
+	canceled   *Counter
+	depth      *Gauge
+}
+
+// NewSimObserver returns an observer feeding c. With a nil collector
+// the observer still works but counts into no-op handles.
+func NewSimObserver(c *Collector) *SimObserver {
+	return &SimObserver{
+		scheduled:  c.Counter("sim.events.scheduled"),
+		dispatched: c.Counter("sim.events.dispatched"),
+		canceled:   c.Counter("sim.events.canceled"),
+		depth:      c.Gauge("sim.heap.depth"),
+	}
+}
+
+// EventScheduled records one scheduled event and samples the queue
+// depth observed right after the push.
+func (o *SimObserver) EventScheduled(depth int) {
+	o.scheduled.Add(1)
+	o.depth.Watermark(int64(depth))
+}
+
+// EventDispatched records one dispatched (fired) event.
+func (o *SimObserver) EventDispatched() { o.dispatched.Add(1) }
+
+// EventCanceled records one event dropped from the queue because it
+// was cancelled before firing.
+func (o *SimObserver) EventCanceled() { o.canceled.Add(1) }

@@ -1,9 +1,11 @@
 package reliability
 
 import (
+	"fmt"
 	"sync"
 
 	"mobilehpc/internal/linalg"
+	"mobilehpc/internal/obs"
 )
 
 // Monte-Carlo cross-validation of the analytic reliability model: the
@@ -106,6 +108,14 @@ func chunkSeed(seed uint64, i int) uint64 {
 // count(chunk, trialsInChunk) on up to jobs workers, and returns the
 // summed counts. jobs <= 1 is a plain serial loop; any jobs value
 // produces the same sum because each chunk owns its RNG.
+//
+// Telemetry (when a collector is active): every chunk is counted
+// (mc.chunks, mc.trials) and wrapped in a "chunk" span parented under
+// whatever span is open on the calling goroutine — under the
+// stability experiment's sub-run spans, that makes the Monte-Carlo
+// work a third level of the run → experiment → sub-run → chunk
+// hierarchy. The chunk arithmetic and reduction never depend on the
+// collector, so results are identical with telemetry on or off.
 func reduceChunks(n, jobs int, count func(chunk, trials int) int) int {
 	chunks := (n + MCChunk - 1) / MCChunk
 	trialsIn := func(c int) int {
@@ -115,13 +125,27 @@ func reduceChunks(n, jobs int, count func(chunk, trials int) int) int {
 		}
 		return t
 	}
+	run := func(worker, c int) int { return count(c, trialsIn(c)) }
+	if ob := obs.Active(); ob != nil {
+		parent := ob.CurrentSpan()
+		nchunks, trials := ob.Counter("mc.chunks"), ob.Counter("mc.trials")
+		run = func(worker, c int) int {
+			t := trialsIn(c)
+			nchunks.Add(1)
+			trials.Add(int64(t))
+			sp := ob.StartWorkerSpan(fmt.Sprintf("mc/chunk[%d]", c), "chunk",
+				worker, parent, obs.Int("trials", int64(t)))
+			defer sp.End()
+			return count(c, t)
+		}
+	}
 	if jobs > chunks {
 		jobs = chunks
 	}
 	if jobs <= 1 || chunks <= 1 {
 		total := 0
 		for c := 0; c < chunks; c++ {
-			total += count(c, trialsIn(c))
+			total += run(0, c)
 		}
 		return total
 	}
@@ -130,12 +154,12 @@ func reduceChunks(n, jobs int, count func(chunk, trials int) int) int {
 	var wg sync.WaitGroup
 	for w := 0; w < jobs; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for c := range idx {
-				sums[c] = count(c, trialsIn(c))
+				sums[c] = run(worker, c)
 			}
-		}()
+		}(w)
 	}
 	for c := 0; c < chunks; c++ {
 		idx <- c

@@ -77,6 +77,40 @@ func (h *eventHeap) Pop() any {
 	return ev
 }
 
+// Observer receives engine activity callbacks for telemetry: one
+// call per event scheduled (with the queue depth just after the
+// push), dispatched, or cancelled-and-dropped. The hook is optional
+// and defaults to nil — a no-op that costs one nil check per event —
+// so simulation behaviour and determinism are never affected by
+// observation. Callbacks run on the engine's goroutine; an observer
+// shared across engines (the normal case, see SetDefaultObserver)
+// must therefore be safe for concurrent use.
+type Observer interface {
+	// EventScheduled reports one scheduled event; depth is the event
+	// queue length immediately after the push.
+	EventScheduled(depth int)
+	// EventDispatched reports one fired event.
+	EventDispatched()
+	// EventCanceled reports one event dropped from the queue because
+	// it was cancelled before firing.
+	EventCanceled()
+}
+
+// defaultObserver is attached to every engine NewEngine creates (the
+// engines of the experiment harness are constructed deep inside the
+// cluster builders, so a creation-time default is the only practical
+// attachment point). Stored boxed because atomic.Value cannot hold a
+// nil interface.
+var defaultObserver atomic.Value // of observerBox
+
+type observerBox struct{ o Observer }
+
+// SetDefaultObserver installs the observer that subsequently created
+// engines start with (nil restores the no-op default). Existing
+// engines are unaffected. The mhpc CLI sets this when telemetry is
+// requested; tests must restore the previous value.
+func SetDefaultObserver(o Observer) { defaultObserver.Store(observerBox{o}) }
+
 // Engine is a discrete-event simulator. The zero value is not ready;
 // use NewEngine.
 type Engine struct {
@@ -85,6 +119,7 @@ type Engine struct {
 	queue   eventHeap
 	procs   int // live processes, for leak detection
 	stopped bool
+	obs     Observer // nil = no telemetry (the default)
 
 	// Misuse detection for the one-engine-per-goroutine invariant:
 	// while running is set, owner holds the goroutine id of the single
@@ -124,10 +159,20 @@ func (e *Engine) checkOwner() {
 	}
 }
 
-// NewEngine returns an engine with the clock at zero and an empty queue.
+// NewEngine returns an engine with the clock at zero and an empty
+// queue, observed by the current default observer (normally nil).
 func NewEngine() *Engine {
-	return &Engine{}
+	e := &Engine{}
+	if box, ok := defaultObserver.Load().(observerBox); ok {
+		e.obs = box.o
+	}
+	return e
 }
+
+// SetObserver attaches o to this engine (nil detaches). Engines pick
+// up the package default at creation; use this to instrument one
+// engine specifically.
+func (e *Engine) SetObserver(o Observer) { e.obs = o }
 
 // Now returns the current virtual time in seconds.
 func (e *Engine) Now() float64 { return e.now }
@@ -157,6 +202,9 @@ func (e *Engine) at(t float64, fn func()) *Event {
 	e.seq++
 	ev := &Event{time: t, seq: e.seq, fn: fn, index: -1}
 	heap.Push(&e.queue, ev)
+	if e.obs != nil {
+		e.obs.EventScheduled(len(e.queue))
+	}
 	return ev
 }
 
@@ -175,6 +223,9 @@ func (e *Engine) Run(limit float64) float64 {
 		ev := e.queue[0]
 		if ev.canceled {
 			heap.Pop(&e.queue)
+			if e.obs != nil {
+				e.obs.EventCanceled()
+			}
 			continue
 		}
 		if ev.time > limit {
@@ -183,6 +234,9 @@ func (e *Engine) Run(limit float64) float64 {
 		}
 		heap.Pop(&e.queue)
 		e.now = ev.time
+		if e.obs != nil {
+			e.obs.EventDispatched()
+		}
 		ev.fn()
 	}
 	return e.now

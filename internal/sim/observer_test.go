@@ -1,0 +1,102 @@
+package sim
+
+import "testing"
+
+// countObserver records engine callbacks for the tests.
+type countObserver struct {
+	scheduled, dispatched, canceled int
+	maxDepth                        int
+}
+
+func (o *countObserver) EventScheduled(depth int) {
+	o.scheduled++
+	if depth > o.maxDepth {
+		o.maxDepth = depth
+	}
+}
+func (o *countObserver) EventDispatched() { o.dispatched++ }
+func (o *countObserver) EventCanceled()   { o.canceled++ }
+
+// The observer hook must see every scheduled, dispatched, and
+// cancelled-and-dropped event, and the queue-depth samples must cover
+// the high-watermark.
+func TestObserverCounts(t *testing.T) {
+	e := NewEngine()
+	obs := &countObserver{}
+	e.SetObserver(obs)
+
+	var fired int
+	e.Schedule(1, func() { fired++ })
+	e.Schedule(2, func() { fired++ })
+	ev := e.Schedule(3, func() { fired++ })
+	ev.Cancel()
+	e.Schedule(4, func() {
+		fired++
+		e.Schedule(1, func() { fired++ }) // scheduled during Run
+	})
+	e.RunAll()
+
+	if fired != 4 {
+		t.Fatalf("fired %d events, want 4", fired)
+	}
+	if obs.scheduled != 5 {
+		t.Errorf("scheduled = %d, want 5", obs.scheduled)
+	}
+	if obs.dispatched != 4 {
+		t.Errorf("dispatched = %d, want 4", obs.dispatched)
+	}
+	if obs.canceled != 1 {
+		t.Errorf("canceled = %d, want 1", obs.canceled)
+	}
+	if obs.maxDepth != 4 {
+		t.Errorf("max queue depth = %d, want 4", obs.maxDepth)
+	}
+}
+
+// Observation must not perturb the simulation: same schedule, same
+// final clock and order with and without an observer.
+func TestObserverDoesNotChangeResults(t *testing.T) {
+	run := func(o Observer) (float64, []int) {
+		e := NewEngine()
+		e.SetObserver(o)
+		var order []int
+		for i := 0; i < 5; i++ {
+			i := i
+			e.Schedule(float64(5-i), func() { order = append(order, i) })
+		}
+		return e.RunAll(), order
+	}
+	endA, orderA := run(nil)
+	endB, orderB := run(&countObserver{})
+	if endA != endB {
+		t.Errorf("final time differs: %v vs %v", endA, endB)
+	}
+	for i := range orderA {
+		if orderA[i] != orderB[i] {
+			t.Fatalf("dispatch order differs at %d: %v vs %v", i, orderA, orderB)
+		}
+	}
+}
+
+// NewEngine picks up the package default observer; clearing it
+// restores the no-op.
+func TestDefaultObserver(t *testing.T) {
+	obs := &countObserver{}
+	SetDefaultObserver(obs)
+	defer SetDefaultObserver(nil)
+
+	e := NewEngine()
+	e.Schedule(1, func() {})
+	e.RunAll()
+	if obs.scheduled != 1 || obs.dispatched != 1 {
+		t.Errorf("default observer not attached: %+v", obs)
+	}
+
+	SetDefaultObserver(nil)
+	e2 := NewEngine()
+	e2.Schedule(1, func() {})
+	e2.RunAll()
+	if obs.scheduled != 1 {
+		t.Errorf("cleared default observer still attached: %+v", obs)
+	}
+}
