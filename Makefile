@@ -1,14 +1,16 @@
 # Verification gates for the mobilehpc reproduction. `make check` is
 # the full wall a PR must clear: vet, build, the tier-1 test suite, the
-# race smoke pass that exercises the parallel experiment pool, and the
-# telemetry smoke run that proves the exporters emit valid JSON without
-# perturbing stdout.
+# race smoke pass that exercises the parallel experiment pool (and the
+# fault-injection package), the telemetry smoke run that proves the
+# exporters emit valid JSON without perturbing stdout, and the faults
+# smoke run that proves a fault-injected sweep is byte-identical across
+# -j and lands its injected events in the run manifest.
 GO ?= go
 TMP ?= /tmp/mhpc-smoke
 
-.PHONY: check vet build test race bench telemetry-smoke
+.PHONY: check vet build test race bench telemetry-smoke faults-smoke
 
-check: vet build test race telemetry-smoke
+check: vet build test race telemetry-smoke faults-smoke
 
 vet:
 	$(GO) vet ./...
@@ -35,3 +37,18 @@ telemetry-smoke:
 	$(TMP)/mhpc all -quick -j 1 > $(TMP)/out-plain.txt
 	cmp $(TMP)/out-telemetry.txt $(TMP)/out-plain.txt
 	$(GO) run ./cmd/jsoncheck $(TMP)/trace.json $(TMP)/manifest.json
+
+# End-to-end fault-injection gate: a short fault-sweep must be
+# byte-identical at -j 4 vs serial with telemetry on, and the injected
+# fault events (plus the replay's checkpoints and restarts) must land
+# in the run manifest with non-zero counts.
+faults-smoke:
+	rm -rf $(TMP)-faults && mkdir -p $(TMP)-faults
+	$(GO) build -o $(TMP)-faults/mhpc ./cmd/mhpc
+	$(TMP)-faults/mhpc run -quick -j 4 -trace-out $(TMP)-faults/trace.json \
+		-report $(TMP)-faults/manifest.json faultsweep > $(TMP)-faults/out-j4.txt
+	$(TMP)-faults/mhpc run -quick -j 1 faultsweep > $(TMP)-faults/out-j1.txt
+	cmp $(TMP)-faults/out-j4.txt $(TMP)-faults/out-j1.txt
+	$(GO) run ./cmd/jsoncheck $(TMP)-faults/trace.json
+	$(GO) run ./cmd/jsoncheck -counters faults.injected,faults.node_fail,faults.node_hang,faults.link_degrade,faults.checkpoints,faults.restarts \
+		$(TMP)-faults/manifest.json

@@ -1,28 +1,44 @@
 // Command jsoncheck validates that each argument file parses as JSON.
-// It exists for the telemetry-smoke gate in the Makefile: the Chrome
-// trace and run manifest that `mhpc all -trace-out ... -report ...`
-// emits must be loadable JSON, and a shell pipeline needs a tool with
-// no dependencies beyond the Go toolchain to assert that.
+// It exists for the telemetry-smoke and faults-smoke gates in the
+// Makefile: the Chrome trace and run manifest that `mhpc all
+// -trace-out ... -report ...` emits must be loadable JSON, and a shell
+// pipeline needs a tool with no dependencies beyond the Go toolchain
+// to assert that.
 //
 // Usage:
 //
-//	go run ./cmd/jsoncheck file.json [file2.json ...]
+//	go run ./cmd/jsoncheck [-counters a,b,c] file.json [file2.json ...]
 //
-// Exits non-zero naming the first file that is missing or malformed.
+// With -counters, each file must additionally be a run manifest whose
+// "counters" object contains every named counter with a value > 0 —
+// the faults-smoke gate uses this to prove injected fault events
+// actually reached the manifest.
+//
+// Exits non-zero naming the first file that is missing, malformed, or
+// missing a required counter.
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"strings"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: jsoncheck file.json [file2.json ...]")
+	counters := flag.String("counters", "",
+		"comma-separated counter names each manifest must carry with value > 0")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: jsoncheck [-counters a,b,c] file.json [file2.json ...]")
 		os.Exit(2)
 	}
-	for _, path := range os.Args[1:] {
+	var required []string
+	if *counters != "" {
+		required = strings.Split(*counters, ",")
+	}
+	for _, path := range flag.Args() {
 		data, err := os.ReadFile(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "jsoncheck: %v\n", err)
@@ -33,6 +49,39 @@ func main() {
 			fmt.Fprintf(os.Stderr, "jsoncheck: %s: invalid JSON: %v\n", path, err)
 			os.Exit(1)
 		}
+		if err := checkCounters(data, required); err != nil {
+			fmt.Fprintf(os.Stderr, "jsoncheck: %s: %v\n", path, err)
+			os.Exit(1)
+		}
 		fmt.Printf("jsoncheck: %s ok (%d bytes)\n", path, len(data))
 	}
+}
+
+// checkCounters asserts every required counter exists with a positive
+// value in the manifest's "counters" object. A nil/empty requirement
+// list always passes.
+func checkCounters(manifest []byte, required []string) error {
+	if len(required) == 0 {
+		return nil
+	}
+	var doc struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(manifest, &doc); err != nil {
+		return fmt.Errorf("not a run manifest: %v", err)
+	}
+	if doc.Counters == nil {
+		return fmt.Errorf("no \"counters\" object in manifest")
+	}
+	for _, name := range required {
+		name = strings.TrimSpace(name)
+		v, ok := doc.Counters[name]
+		if !ok {
+			return fmt.Errorf("counter %q missing from manifest", name)
+		}
+		if v <= 0 {
+			return fmt.Errorf("counter %q = %d, want > 0", name, v)
+		}
+	}
+	return nil
 }

@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestCheckCounters(t *testing.T) {
+	manifest := []byte(`{"schema":"mhpc-run-manifest/v1","counters":{"faults.injected":7,"faults.node_fail":0}}`)
+	cases := []struct {
+		name     string
+		required []string
+		wantErr  bool
+	}{
+		{"no requirements", nil, false},
+		{"present and positive", []string{"faults.injected"}, false},
+		{"whitespace tolerated", []string{" faults.injected "}, false},
+		{"missing counter", []string{"faults.restarts"}, true},
+		{"zero counter", []string{"faults.node_fail"}, true},
+		{"one bad among good", []string{"faults.injected", "faults.restarts"}, true},
+	}
+	for _, c := range cases {
+		err := checkCounters(manifest, c.required)
+		if (err != nil) != c.wantErr {
+			t.Errorf("%s: err = %v, wantErr = %v", c.name, err, c.wantErr)
+		}
+	}
+	if err := checkCounters([]byte(`{"no_counters":true}`), []string{"x"}); err == nil {
+		t.Error("manifest without counters object: want error")
+	}
+}

@@ -7,7 +7,10 @@
 //	mhpc list                  list experiment ids and titles
 //	mhpc run [-quick] [-csv] [-j N] <id>...   run selected experiments
 //	mhpc all [-quick] [-j N]   regenerate every table and figure
-//	mhpc hpl [-nodes N]        run weak-scaled HPL on Tibidabo
+//	mhpc hpl [-nodes N] [-faults] [-fault-seed S] [-hours H]
+//	                           run weak-scaled HPL on Tibidabo; -faults adds a
+//	                           checkpointed production run with §6.1/§6.3 fault
+//	                           injection from seed S (deterministic per seed)
 //	mhpc trace [-nodes N]      traced run + Paraver/Scalasca-style analysis
 //	mhpc tune [-n N]           ATLAS-style gemm block autotuning on this host
 //
@@ -39,11 +42,13 @@ import (
 
 	"mobilehpc/internal/cluster"
 	"mobilehpc/internal/core"
+	"mobilehpc/internal/faults"
 	"mobilehpc/internal/harness"
 	"mobilehpc/internal/linalg"
 	"mobilehpc/internal/mpi"
 	"mobilehpc/internal/obs"
 	"mobilehpc/internal/perf"
+	"mobilehpc/internal/reliability"
 	"mobilehpc/internal/sim"
 )
 
@@ -110,7 +115,10 @@ func usage() {
   mhpc list                        list experiments
   mhpc run [-quick] [-csv] [-j N] <id>... run selected experiments
   mhpc all [-quick] [-j N]         regenerate every table and figure
-  mhpc hpl [-nodes N]              weak-scaled HPL + Green500 metric
+  mhpc hpl [-nodes N] [-faults] [-fault-seed S] [-hours H]
+                                   weak-scaled HPL + Green500 metric; -faults
+                                   adds a fault-injected checkpointed run
+                                   (§6.1/§6.3), deterministic per -fault-seed
   mhpc trace [-nodes N] [-steps S] traced run with timeline + bottleneck analysis
   mhpc tune [-n N]                 ATLAS-style gemm autotuning on this host
 
@@ -345,6 +353,9 @@ func runTune(args []string) error {
 func runHPL(args []string) error {
 	fs := flag.NewFlagSet("hpl", flag.ExitOnError)
 	nodes := fs.Int("nodes", 96, "Tibidabo nodes")
+	withFaults := fs.Bool("faults", false, "inject §6.1/§6.3 faults into a checkpointed production run")
+	faultSeed := fs.Uint64("fault-seed", 1, "fault schedule seed (same seed, same run, any -j)")
+	hours := fs.Float64("hours", 24, "useful work hours of the fault-injected run (with -faults)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -354,5 +365,48 @@ func runHPL(args []string) error {
 	fmt.Printf("  %.1f GFLOPS, efficiency %.1f%%, residual %.3f (valid=%v)\n",
 		r.GFLOPS, r.Efficiency*100, r.Residual, r.Valid)
 	fmt.Printf("  %.0f MFLOPS/W (paper: 97 GFLOPS, 51%%, 120 MFLOPS/W at 96 nodes)\n", mpw)
+	if *withFaults {
+		fmt.Println()
+		return faultReport(os.Stdout, *nodes, *hours, *faultSeed)
+	}
+	return nil
+}
+
+// faultReport runs a checkpointed *hours*-hour production job on a
+// simulated nodes-node Tibidabo with the §6.1/§6.3 failure modes
+// injected from the given seed, and prints the measured makespan next
+// to the analytic checkpoint-efficiency prediction. Deterministic:
+// same (nodes, hours, seed) prints the same bytes.
+func faultReport(w io.Writer, nodes int, hours float64, seed uint64) error {
+	if nodes <= 0 || hours <= 0 {
+		return fmt.Errorf("faults: need positive node count and hours (got %d nodes, %vh)", nodes, hours)
+	}
+	pcie := reliability.TibidaboPCIe()
+	mtbf := reliability.ClusterMTBFHours(nodes, 2, reliability.DIMMAnnualErrorLow, pcie)
+	const ckptCost, restart = 0.1, 0.05
+	interval := reliability.OptimalCheckpointHours(ckptCost, mtbf)
+	analytic := reliability.CheckpointEfficiency(interval, ckptCost, restart, mtbf)
+	p := faults.Params{
+		Nodes:        nodes,
+		HorizonHours: 10 * hours,
+		MemMTBFHours: reliability.MTBEHours(nodes, 2, reliability.DIMMAnnualErrorLow),
+		Stability:    pcie,
+		// NIC degradations on top of the fatal modes: roughly one
+		// onset per machine MTBF, at the default 4x slowdown.
+		LinkMTBFHours: mtbf,
+		Seed:          seed,
+	}
+	res := faults.Replay(cluster.Tibidabo(nodes), faults.Generate(p), faults.RunConfig{
+		WorkHours: hours, IntervalHours: interval,
+		CheckpointHours: ckptCost, RestartHours: restart, CommFraction: 0.3,
+	})
+	fmt.Fprintf(w, "fault injection (§6.1/§6.3): seed %d, %.0fh job on %d nodes\n", seed, hours, nodes)
+	fmt.Fprintf(w, "  machine MTBF %.1f h (ECC-less memory events + PCIe/NIC hangs)\n", mtbf)
+	fmt.Fprintf(w, "  checkpoint every %.2f h (Young), cost %.2f h, restart %.2f h\n", interval, ckptCost, restart)
+	fmt.Fprintf(w, "  injected: %d fatal faults, %d NIC degradations\n", res.Failures, res.Degrades)
+	fmt.Fprintf(w, "  replay: makespan %.2f h, %d checkpoints, %d restarts, %.2f h lost to rework\n",
+		res.MakespanHours, res.Checkpoints, res.Restarts, res.LostHours)
+	fmt.Fprintf(w, "  useful-work fraction %.1f%% vs analytic prediction %.1f%% (|err| %.3f)\n",
+		res.UsefulFraction*100, analytic*100, math.Abs(res.UsefulFraction-analytic))
 	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"runtime"
+	"strings"
 	"testing"
 )
 
@@ -62,5 +63,44 @@ func TestDefaultJobsSpec(t *testing.T) {
 	}
 	if _, err := parseJobs(defaultJobsSpec()); err == nil {
 		t.Error("garbage MHPC_PARALLEL must fail parseJobs")
+	}
+}
+
+// faultReport must be deterministic per (nodes, hours, seed) — the
+// CLI-facing face of the fault-injection byte-identity guarantee —
+// and must change when the seed does.
+func TestFaultReportDeterministic(t *testing.T) {
+	render := func(seed uint64) string {
+		var b strings.Builder
+		if err := faultReport(&b, 48, 72, seed); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a, b := render(3), render(3)
+	if a != b {
+		t.Fatalf("same seed, different report:\n%s\nvs\n%s", a, b)
+	}
+	for _, want := range []string{
+		"fault injection (§6.1/§6.3): seed 3, 72h job on 48 nodes",
+		"machine MTBF", "checkpoint every", "injected:", "replay: makespan",
+		"useful-work fraction",
+	} {
+		if !strings.Contains(a, want) {
+			t.Errorf("report missing %q:\n%s", want, a)
+		}
+	}
+	if render(4) == a {
+		t.Error("different fault seeds produced identical reports")
+	}
+}
+
+func TestFaultReportRejectsBadShape(t *testing.T) {
+	var b strings.Builder
+	if err := faultReport(&b, 0, 24, 1); err == nil {
+		t.Error("0 nodes: want error")
+	}
+	if err := faultReport(&b, 96, 0, 1); err == nil {
+		t.Error("0 hours: want error")
 	}
 }

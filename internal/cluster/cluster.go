@@ -19,7 +19,15 @@ type Node struct {
 	ID       int
 	Platform *soc.Platform
 	FGHz     float64
+	// down marks a fatal §6.3 memory event (no ECC: the node is dead
+	// until rebooted); hung marks a §6.1 PCIe/NIC hang (the node stops
+	// responding). Mutated via Cluster.FailNode/HangNode/RestoreNode.
+	down, hung bool
 }
+
+// Alive reports whether the node is operational — neither failed nor
+// hung.
+func (n *Node) Alive() bool { return !n.down && !n.hung }
 
 // ComputeTime returns the modelled time for this node to execute work
 // shaped like pr using `threads` cores (see perf.IterTime).
@@ -117,6 +125,53 @@ func Tibidabo(n int) *Cluster {
 		NodeOverW:   3.5,
 		SwitchW:     25,
 	})
+}
+
+// HangDegradeFactor is the NIC serialisation-time multiplier applied
+// when a node hangs: a hung node's NIC goes near-silent rather than
+// cleanly dead, so in-flight traffic through it crawls instead of
+// vanishing (§6.1's "stopped responding" failure mode).
+const HangDegradeFactor = 1e4
+
+// FailNode marks node id dead — the §6.3 failure mode where a memory
+// event without ECC kills the work on the node. The node stays down
+// until RestoreNode. State only: layers that care (the checkpoint
+// replay in internal/faults, schedulers) consult Alive.
+func (c *Cluster) FailNode(id int) {
+	c.Nodes[id].down = true
+}
+
+// HangNode marks node id unresponsive — the §6.1 PCIe/NIC hang — and
+// degrades its NIC links by HangDegradeFactor so in-flight traffic
+// through the node slows to a crawl rather than disappearing.
+func (c *Cluster) HangNode(id int) {
+	n := c.Nodes[id]
+	if !n.hung && c.Net.NodeLinks(id) != nil {
+		c.Net.DegradeNode(id, HangDegradeFactor)
+	}
+	n.hung = true
+}
+
+// RestoreNode reboots node id: clears failed and hung state and resets
+// its NIC links to nominal bandwidth.
+func (c *Cluster) RestoreNode(id int) {
+	n := c.Nodes[id]
+	n.down, n.hung = false, false
+	c.Net.RestoreNode(id)
+}
+
+// Alive reports whether node id is operational.
+func (c *Cluster) Alive(id int) bool { return c.Nodes[id].Alive() }
+
+// AliveCount returns the number of operational nodes.
+func (c *Cluster) AliveCount() int {
+	alive := 0
+	for _, n := range c.Nodes {
+		if n.Alive() {
+			alive++
+		}
+	}
+	return alive
 }
 
 // PowerW returns total machine power with every node running

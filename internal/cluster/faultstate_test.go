@@ -1,0 +1,42 @@
+package cluster
+
+import "testing"
+
+func TestNodeFailHangRestore(t *testing.T) {
+	c := Tibidabo(4)
+	if got := c.AliveCount(); got != 4 {
+		t.Fatalf("fresh cluster alive = %d, want 4", got)
+	}
+	c.FailNode(1)
+	if c.Alive(1) || !c.Alive(0) || c.AliveCount() != 3 {
+		t.Fatalf("after FailNode(1): alive(1)=%v alive(0)=%v count=%d",
+			c.Alive(1), c.Alive(0), c.AliveCount())
+	}
+	// A hang takes the node out AND cripples its NIC links.
+	c.HangNode(2)
+	if c.Alive(2) || c.AliveCount() != 2 {
+		t.Fatalf("after HangNode(2): alive(2)=%v count=%d", c.Alive(2), c.AliveCount())
+	}
+	for _, l := range c.Net.NodeLinks(2) {
+		if l.DegradeFactor() != HangDegradeFactor {
+			t.Errorf("hung node link %s factor = %v, want %v", l.Name, l.DegradeFactor(), HangDegradeFactor)
+		}
+	}
+	// Double-hang must not compound the NIC degradation.
+	c.HangNode(2)
+	for _, l := range c.Net.NodeLinks(2) {
+		if l.DegradeFactor() != HangDegradeFactor {
+			t.Errorf("double hang compounded: %s factor = %v", l.Name, l.DegradeFactor())
+		}
+	}
+	c.RestoreNode(1)
+	c.RestoreNode(2)
+	if c.AliveCount() != 4 {
+		t.Fatalf("after restore: alive = %d, want 4", c.AliveCount())
+	}
+	for _, l := range c.Net.NodeLinks(2) {
+		if l.DegradeFactor() != 1 {
+			t.Errorf("restored node link %s factor = %v, want 1", l.Name, l.DegradeFactor())
+		}
+	}
+}

@@ -1,0 +1,303 @@
+// Package faults generates deterministic fault schedules for the
+// simulated cluster and injects them into sim.Engine runs. It models
+// the three §6.1/§6.3 Tibidabo failure modes — fatal memory events on
+// nodes without ECC, PCIe/NIC hangs, and NIC links degrading to a
+// fraction of nominal bandwidth — as seeded Poisson processes, and
+// provides a checkpoint/restart replay path (Replay) whose measured
+// useful-work fraction validates reliability.CheckpointEfficiency:
+// the analytic model and the discrete-event simulation must agree.
+//
+// Determinism: a Schedule is a pure function of its Params (including
+// Seed). Each (node, kind) pair owns a private RNG stream derived by
+// SplitMix64, so the schedule never depends on generation order,
+// worker count, or map iteration — regenerating from the same Params
+// is byte-identical (Schedule.String), and injecting it is
+// reproducible at any -j.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mobilehpc/internal/linalg"
+	"mobilehpc/internal/reliability"
+)
+
+// Kind classifies one injected fault.
+type Kind uint8
+
+// The Tibidabo failure modes of §6.1 and §6.3.
+const (
+	// NodeFail is a fatal memory event on a node without ECC (§6.3):
+	// the node dies and any uncommitted work on the machine is lost.
+	NodeFail Kind = iota
+	// NodeHang is a PCIe/NIC hang (§6.1): the node stops responding,
+	// which kills the run just like a failure but leaves the NIC
+	// near-silent rather than cleanly dead.
+	NodeHang
+	// LinkDegrade drops the node's NIC links to a fraction of nominal
+	// bandwidth (§6.1's unstable-NIC mode): work survives but
+	// communication stretches until the next recovery resets the NIC.
+	LinkDegrade
+	numKinds = 3
+)
+
+// String returns the canonical lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case NodeFail:
+		return "node_fail"
+	case NodeHang:
+		return "node_hang"
+	case LinkDegrade:
+		return "link_degrade"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	Hours  float64 // simulated time since run start
+	Node   int     // target node index
+	Kind   Kind    // what happens
+	Factor float64 // LinkDegrade: serialisation-time multiplier; 0 otherwise
+}
+
+// DefaultDegradeFactor is the NIC slowdown applied by LinkDegrade
+// events when Params.DegradeFactor is zero: a flaky 1 GbE attach
+// delivering a quarter of line rate.
+const DefaultDegradeFactor = 4
+
+// maxStreamEvents bounds the expected event count of a single
+// (node, kind) stream so absurd Params (huge horizon, tiny MTBF)
+// fail loudly instead of allocating without bound.
+const maxStreamEvents = 1 << 20
+
+// Params describes the fault environment to sample. The zero value of
+// any rate disables that fault class.
+type Params struct {
+	// Nodes is the cluster size; faults target nodes [0, Nodes).
+	Nodes int
+	// HorizonHours bounds the schedule: no event is generated after
+	// this simulated time.
+	HorizonHours float64
+	// MemMTBFHours is the cluster-wide mean time between fatal memory
+	// events (§6.3; reliability.MTBEHours gives the Tibidabo value
+	// from DIMM counts). 0 disables NodeFail events.
+	MemMTBFHours float64
+	// Stability carries the per-node §6.1 hang rate
+	// (reliability.NodeStability, hangs per node-day). A zero rate
+	// disables NodeHang events.
+	Stability reliability.NodeStability
+	// LinkMTBFHours is the cluster-wide mean time between NIC
+	// degradation onsets. 0 disables LinkDegrade events.
+	LinkMTBFHours float64
+	// DegradeFactor is the serialisation-time multiplier LinkDegrade
+	// events apply (0 = DefaultDegradeFactor; must be >= 1 otherwise).
+	DegradeFactor float64
+	// Seed roots every per-(node, kind) RNG stream. Same Params, same
+	// schedule — byte-identical.
+	Seed uint64
+}
+
+// ClusterMTBFHours returns the combined mean time between *fatal*
+// events (NodeFail + NodeHang) for these parameters — the MTBF that
+// Young's checkpoint formula wants. LinkDegrade events are excluded:
+// they slow work down but do not kill it.
+func (p Params) ClusterMTBFHours() float64 {
+	rate := 0.0
+	if p.MemMTBFHours > 0 {
+		rate += 1 / p.MemMTBFHours
+	}
+	rate += p.Stability.HangsPerNodeDay / 24 * float64(p.Nodes)
+	if rate == 0 {
+		return math.Inf(1)
+	}
+	return 1 / rate
+}
+
+func (p Params) check() {
+	if p.Nodes <= 0 {
+		panic("faults: need at least one node")
+	}
+	if !(p.HorizonHours > 0) || math.IsInf(p.HorizonHours, 0) {
+		panic(fmt.Sprintf("faults: horizon must be positive and finite, got %v", p.HorizonHours))
+	}
+	if p.MemMTBFHours < 0 || p.LinkMTBFHours < 0 || p.Stability.HangsPerNodeDay < 0 {
+		panic("faults: negative fault rate")
+	}
+	if p.DegradeFactor != 0 && (p.DegradeFactor < 1 || math.IsNaN(p.DegradeFactor) || math.IsInf(p.DegradeFactor, 0)) {
+		panic(fmt.Sprintf("faults: degrade factor %v must be >= 1", p.DegradeFactor))
+	}
+	for kind, rate := range p.streamRates() {
+		if rate*p.HorizonHours > maxStreamEvents {
+			panic(fmt.Sprintf("faults: %v stream expects %g events over the horizon (cap %d) — rate or horizon is absurd",
+				Kind(kind), rate*p.HorizonHours, maxStreamEvents))
+		}
+	}
+}
+
+// streamRates returns the per-node hourly rate of each fault kind.
+func (p Params) streamRates() [numKinds]float64 {
+	var r [numKinds]float64
+	if p.MemMTBFHours > 0 {
+		r[NodeFail] = 1 / (p.MemMTBFHours * float64(p.Nodes))
+	}
+	r[NodeHang] = p.Stability.HangsPerNodeDay / 24
+	if p.LinkMTBFHours > 0 {
+		r[LinkDegrade] = 1 / (p.LinkMTBFHours * float64(p.Nodes))
+	}
+	return r
+}
+
+// Mix derives a decorrelated child seed from a parent seed and an
+// index (SplitMix64 finalizer — the same construction the reliability
+// Monte-Carlo uses for chunk seeds).
+func Mix(seed uint64, i int) uint64 {
+	z := seed + uint64(i+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// expSample draws an exponential inter-arrival time (hours) for the
+// given hourly rate. The zero-probability u==0 draw is skipped so
+// inter-arrivals are strictly positive and no two events of one
+// stream can share a timestamp.
+func expSample(rng *linalg.LCG, rate float64) float64 {
+	for {
+		u := rng.Float64()
+		if u > 0 {
+			return -math.Log1p(-u) / rate
+		}
+	}
+}
+
+// Schedule is a time-ordered fault sequence.
+type Schedule []Event
+
+// Generate samples a fault schedule from p. Deterministic: each
+// (node, kind) pair draws from its own SplitMix64-derived LCG stream,
+// inter-arrivals are exponential, and the merged sequence is sorted
+// by (Hours, Node, Kind).
+func Generate(p Params) Schedule {
+	p.check()
+	df := p.DegradeFactor
+	if df == 0 {
+		df = DefaultDegradeFactor
+	}
+	rates := p.streamRates()
+	var s Schedule
+	for node := 0; node < p.Nodes; node++ {
+		for kind, rate := range rates {
+			if rate <= 0 {
+				continue
+			}
+			rng := linalg.NewLCG(Mix(p.Seed, node*numKinds+kind))
+			for t := expSample(rng, rate); t <= p.HorizonHours; t += expSample(rng, rate) {
+				ev := Event{Hours: t, Node: node, Kind: Kind(kind)}
+				if ev.Kind == LinkDegrade {
+					ev.Factor = df
+				}
+				s = append(s, ev)
+			}
+		}
+	}
+	sort.Sort(s)
+	return s
+}
+
+// Len implements sort.Interface.
+func (s Schedule) Len() int { return len(s) }
+
+// Swap implements sort.Interface.
+func (s Schedule) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+
+// Less orders events by (Hours, Node, Kind) — the canonical order
+// both Generate and Validate use.
+func (s Schedule) Less(i, j int) bool {
+	a, b := s[i], s[j]
+	if a.Hours != b.Hours {
+		return a.Hours < b.Hours
+	}
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	return a.Kind < b.Kind
+}
+
+// Validate checks the structural invariants every generated schedule
+// must satisfy: strictly positive finite times, canonical (Hours,
+// Node, Kind) order, no duplicate (Hours, Node, Kind) triples, valid
+// kinds, and a degrade factor >= 1 exactly on LinkDegrade events.
+func (s Schedule) Validate() error {
+	for i, ev := range s {
+		if !(ev.Hours > 0) || math.IsInf(ev.Hours, 0) {
+			return fmt.Errorf("event %d: non-positive or non-finite time %v", i, ev.Hours)
+		}
+		if ev.Node < 0 {
+			return fmt.Errorf("event %d: negative node %d", i, ev.Node)
+		}
+		if ev.Kind >= numKinds {
+			return fmt.Errorf("event %d: unknown kind %d", i, ev.Kind)
+		}
+		if ev.Kind == LinkDegrade {
+			if ev.Factor < 1 {
+				return fmt.Errorf("event %d: link_degrade factor %v < 1", i, ev.Factor)
+			}
+		} else if ev.Factor != 0 {
+			return fmt.Errorf("event %d: %v carries factor %v", i, ev.Kind, ev.Factor)
+		}
+		if i > 0 {
+			if s.Less(i, i-1) {
+				return fmt.Errorf("event %d: out of order (%v before %v)", i, s[i-1], ev)
+			}
+			if s[i-1] == ev {
+				return fmt.Errorf("event %d: duplicate of event %d (%v)", i, i-1, ev)
+			}
+			if !s.Less(i-1, i) {
+				return fmt.Errorf("event %d: duplicate (Hours, Node, Kind) with event %d", i, i-1)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the schedule canonically, one event per line, with
+// exact (round-trippable) timestamps — the byte-identity witness for
+// "same seed, same schedule".
+func (s Schedule) String() string {
+	var b strings.Builder
+	for _, ev := range s {
+		b.WriteString("t=")
+		b.WriteString(strconv.FormatFloat(ev.Hours, 'g', -1, 64))
+		b.WriteString("h n")
+		b.WriteString(strconv.Itoa(ev.Node))
+		b.WriteString(" ")
+		b.WriteString(ev.Kind.String())
+		if ev.Kind == LinkDegrade {
+			b.WriteString(" x")
+			b.WriteString(strconv.FormatFloat(ev.Factor, 'g', -1, 64))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// CountByKind tallies events per kind.
+func (s Schedule) CountByKind() (fails, hangs, degrades int) {
+	for _, ev := range s {
+		switch ev.Kind {
+		case NodeFail:
+			fails++
+		case NodeHang:
+			hangs++
+		case LinkDegrade:
+			degrades++
+		}
+	}
+	return
+}

@@ -1,0 +1,56 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"mobilehpc/internal/reliability"
+)
+
+// FuzzFaultSchedule is the satellite fuzz harness: arbitrary seeds and
+// parameters (mapped into the legal range) must never yield a schedule
+// with out-of-order, non-positive-time, or duplicate events — and
+// regenerating from the same seed must be byte-identical.
+//
+// The seed corpus is checked in twice over: the f.Add calls below
+// (one entry per interesting regime — all streams on, single stream,
+// single node, dense schedule, empty schedule) plus the on-disk
+// entries under testdata/fuzz/FuzzFaultSchedule (dense 64-node grid,
+// quiet single-node horizon, degrade-only stream).
+func FuzzFaultSchedule(f *testing.F) {
+	f.Add(uint64(1), uint8(8), uint16(400), uint16(100), uint16(10), uint16(200), uint16(4))
+	f.Add(uint64(0), uint8(1), uint16(1), uint16(0), uint16(0), uint16(0), uint16(0))
+	f.Add(uint64(0xDEADBEEF), uint8(255), uint16(65535), uint16(1), uint16(99), uint16(1), uint16(1))
+	f.Add(uint64(42), uint8(4), uint16(5000), uint16(0), uint16(5), uint16(0), uint16(9))
+	f.Add(uint64(12345), uint8(64), uint16(100), uint16(7), uint16(0), uint16(3), uint16(100))
+	f.Fuzz(func(t *testing.T, seed uint64, nodes8 uint8, horizon16, mem16, hang16, link16, deg16 uint16) {
+		p := Params{
+			Nodes: int(nodes8)%64 + 1,
+			// 0.25h .. ~500h horizons.
+			HorizonHours: float64(horizon16%2000)/4 + 0.25,
+			// Cluster-wide MTBFs down to 0.1h; 0 disables the stream.
+			MemMTBFHours:  float64(mem16%1000) / 10,
+			LinkMTBFHours: float64(link16%1000) / 10,
+			// Up to ~0.1 hangs per node-day.
+			Stability:     reliability.NodeStability{HangsPerNodeDay: float64(hang16%100) / 1000},
+			DegradeFactor: float64(deg16%100) + 1,
+			Seed:          seed,
+		}
+		s := Generate(p)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("params %+v: invalid schedule: %v", p, err)
+		}
+		for i, ev := range s {
+			if ev.Hours > p.HorizonHours {
+				t.Fatalf("event %d at %vh beyond horizon %vh", i, ev.Hours, p.HorizonHours)
+			}
+			if ev.Node >= p.Nodes {
+				t.Fatalf("event %d targets node %d of %d", i, ev.Node, p.Nodes)
+			}
+		}
+		again := Generate(p)
+		if !reflect.DeepEqual(s, again) || s.String() != again.String() {
+			t.Fatalf("params %+v: regeneration not byte-identical", p)
+		}
+	})
+}

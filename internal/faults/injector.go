@@ -1,0 +1,80 @@
+package faults
+
+import (
+	"fmt"
+
+	"mobilehpc/internal/cluster"
+	"mobilehpc/internal/obs"
+	"mobilehpc/internal/sim"
+)
+
+// Injector binds a fault schedule to a cluster: Arm schedules every
+// event onto the cluster's engine, and when an event fires the
+// injector applies the corresponding cluster/interconnect hook
+// (FailNode, HangNode, Net.DegradeNode), records telemetry, and
+// invokes the optional callback — in that order, so the callback sees
+// the cluster already in its post-fault state.
+type Injector struct {
+	cl      *cluster.Cluster
+	sch     Schedule
+	onFault func(Event)
+	armed   []*sim.Event
+	fired   []Event
+}
+
+// NewInjector creates an injector for schedule sch on cluster cl.
+// onFault (may be nil) runs inside the engine's thread of control
+// after each fault is applied.
+func NewInjector(cl *cluster.Cluster, sch Schedule, onFault func(Event)) *Injector {
+	for i, ev := range sch {
+		if ev.Node >= cl.Size() {
+			panic(fmt.Sprintf("faults: event %d targets node %d of a %d-node cluster", i, ev.Node, cl.Size()))
+		}
+	}
+	return &Injector{cl: cl, sch: sch, onFault: onFault}
+}
+
+// Arm schedules every event of the schedule onto the cluster engine
+// (Hours -> engine seconds). Call before the engine runs, or from
+// within its thread of control.
+func (in *Injector) Arm() {
+	for _, ev := range in.sch {
+		ev := ev
+		in.armed = append(in.armed, in.cl.Eng.Schedule(ev.Hours*3600, func() { in.fire(ev) }))
+	}
+}
+
+// Disarm cancels every not-yet-fired event. Call from the engine's
+// thread of control (or after the run) — e.g. when the replayed
+// application finishes before the schedule horizon.
+func (in *Injector) Disarm() {
+	for _, e := range in.armed {
+		e.Cancel()
+	}
+	in.armed = in.armed[:0]
+}
+
+// Injected returns the events that have fired so far, in firing order.
+func (in *Injector) Injected() []Event { return in.fired }
+
+func (in *Injector) fire(ev Event) {
+	switch ev.Kind {
+	case NodeFail:
+		in.cl.FailNode(ev.Node)
+	case NodeHang:
+		in.cl.HangNode(ev.Node)
+	case LinkDegrade:
+		in.cl.Net.DegradeNode(ev.Node, ev.Factor)
+	}
+	in.fired = append(in.fired, ev)
+	if c := obs.Active(); c != nil {
+		c.Counter("faults.injected").Add(1)
+		c.Counter("faults." + ev.Kind.String()).Add(1)
+		sp := c.StartSpan(fmt.Sprintf("fault/%s/n%d", ev.Kind, ev.Node), "fault",
+			obs.Float("sim_hours", ev.Hours), obs.Int("node", int64(ev.Node)))
+		sp.End()
+	}
+	if in.onFault != nil {
+		in.onFault(ev)
+	}
+}

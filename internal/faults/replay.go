@@ -1,0 +1,220 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+
+	"mobilehpc/internal/cluster"
+	"mobilehpc/internal/obs"
+	"mobilehpc/internal/sim"
+)
+
+// RunConfig describes a checkpointed application run to replay under
+// an injected fault schedule. All durations are simulated hours.
+type RunConfig struct {
+	// WorkHours is the useful (fault-free) compute the run must
+	// complete to finish.
+	WorkHours float64
+	// IntervalHours is the checkpoint interval: after each interval of
+	// useful work a checkpoint commits the progress so far.
+	IntervalHours float64
+	// CheckpointHours is the cost of writing one checkpoint. Progress
+	// commits only when the checkpoint completes; a fault mid-
+	// checkpoint loses the whole segment.
+	CheckpointHours float64
+	// RestartHours is the cost of restarting from the last committed
+	// checkpoint after a fatal fault (NodeFail or NodeHang). A fault
+	// during a restart restarts the restart.
+	RestartHours float64
+	// CommFraction is the share of a work segment spent on the
+	// network — the part a degraded NIC stretches. A LinkDegrade with
+	// factor f multiplies segment wall time by 1 + CommFraction*(f-1).
+	// 0 models a compute-bound run that ignores NIC degradation.
+	CommFraction float64
+}
+
+func (cfg RunConfig) check() {
+	if !(cfg.WorkHours > 0) || math.IsInf(cfg.WorkHours, 0) {
+		panic(fmt.Sprintf("faults: work %vh must be positive and finite", cfg.WorkHours))
+	}
+	if !(cfg.IntervalHours > 0) {
+		panic(fmt.Sprintf("faults: checkpoint interval %vh must be positive", cfg.IntervalHours))
+	}
+	if cfg.CheckpointHours < 0 || cfg.RestartHours < 0 {
+		panic("faults: negative checkpoint or restart cost")
+	}
+	if cfg.CommFraction < 0 || cfg.CommFraction > 1 || math.IsNaN(cfg.CommFraction) {
+		panic(fmt.Sprintf("faults: comm fraction %v outside [0, 1]", cfg.CommFraction))
+	}
+}
+
+// RunResult reports what a replayed run cost, rework included.
+type RunResult struct {
+	// MakespanHours is total wall time from start to completion of the
+	// full WorkHours, including checkpoints, lost work, and restarts.
+	MakespanHours float64
+	// UsefulFraction is WorkHours / MakespanHours — the quantity that
+	// must converge to reliability.CheckpointEfficiency.
+	UsefulFraction float64
+	// Checkpoints counts completed (committed) checkpoints.
+	Checkpoints int
+	// Restarts counts completed restarts.
+	Restarts int
+	// Failures counts fatal injected events (NodeFail + NodeHang) that
+	// killed in-flight work.
+	Failures int
+	// Degrades counts LinkDegrade events applied during the run.
+	Degrades int
+	// LostHours is wall time thrown away by fatal faults: uncommitted
+	// work, partial checkpoints, and aborted restarts.
+	LostHours float64
+}
+
+const (
+	phaseWork = iota
+	phaseCkpt
+	phaseRestart
+	phaseDone
+)
+
+// replay is the event-driven state machine: work segments of
+// IntervalHours commit via checkpoints; fatal faults cancel the
+// in-flight activity, pay a restart, and resume from the last commit;
+// NIC degradations stretch work segments by the communication share
+// and persist until a restart reboots the affected nodes.
+type replay struct {
+	cl  *cluster.Cluster
+	eng *sim.Engine
+	res RunResult
+
+	workS, intervalS, ckptS, restartS, commFrac float64
+
+	phase        int
+	committed    float64 // useful seconds committed to stable storage
+	segLen       float64 // useful seconds in the current segment
+	segDone      float64 // useful seconds finished at the last rate change
+	workStart    float64 // engine time of the last rate change in this segment
+	segWallStart float64 // engine time the current segment's work began
+	phaseStart   float64 // engine time the current ckpt/restart began
+	slowdown     float64 // wall seconds per useful second (>= 1)
+	linkFactor   float64 // aggregate NIC degrade multiplier since last reboot
+	pending      *sim.Event
+	downed       []int // nodes awaiting reboot at restart completion
+	degraded     []int // nodes with degraded NICs awaiting reboot
+}
+
+// Replay executes a checkpointed run on cl's engine with the faults
+// of sch injected, and returns the measured makespan. Deterministic:
+// same cluster size, schedule, and config give identical results.
+// The cluster engine must be fresh (time zero, no pending work).
+func Replay(cl *cluster.Cluster, sch Schedule, cfg RunConfig) RunResult {
+	cfg.check()
+	r := &replay{
+		cl: cl, eng: cl.Eng,
+		workS:      cfg.WorkHours * 3600,
+		intervalS:  cfg.IntervalHours * 3600,
+		ckptS:      cfg.CheckpointHours * 3600,
+		restartS:   cfg.RestartHours * 3600,
+		commFrac:   cfg.CommFraction,
+		linkFactor: 1,
+	}
+	inj := NewInjector(cl, sch, r.onFault)
+	inj.Arm()
+	r.startSegment()
+	cl.Eng.RunAll()
+	if r.phase != phaseDone {
+		panic("faults: replay engine drained before the run finished")
+	}
+	if c := obs.Active(); c != nil {
+		c.Counter("faults.checkpoints").Add(int64(r.res.Checkpoints))
+		c.Counter("faults.restarts").Add(int64(r.res.Restarts))
+	}
+	return r.res
+}
+
+func (r *replay) startSegment() {
+	r.segLen = math.Min(r.intervalS, r.workS-r.committed)
+	r.segDone = 0
+	r.slowdown = 1 + r.commFrac*(r.linkFactor-1)
+	now := r.eng.Now()
+	r.segWallStart = now
+	r.workStart = now
+	r.phase = phaseWork
+	r.pending = r.eng.Schedule(r.segLen*r.slowdown, r.workDone)
+}
+
+func (r *replay) workDone() {
+	r.segDone = r.segLen
+	if r.committed+r.segLen >= r.workS {
+		r.committed = r.workS
+		r.finish()
+		return
+	}
+	r.phase = phaseCkpt
+	r.phaseStart = r.eng.Now()
+	r.pending = r.eng.Schedule(r.ckptS, r.ckptDone)
+}
+
+func (r *replay) ckptDone() {
+	r.committed += r.segLen
+	r.res.Checkpoints++
+	r.startSegment()
+}
+
+func (r *replay) restartDone() {
+	r.res.Restarts++
+	for _, id := range r.downed {
+		r.cl.RestoreNode(id)
+	}
+	for _, id := range r.degraded {
+		r.cl.RestoreNode(id)
+	}
+	r.downed, r.degraded = r.downed[:0], r.degraded[:0]
+	r.linkFactor = 1
+	r.startSegment()
+}
+
+func (r *replay) finish() {
+	r.phase = phaseDone
+	r.res.MakespanHours = r.eng.Now() / 3600
+	r.res.UsefulFraction = r.workS / r.eng.Now()
+	r.eng.Stop()
+}
+
+// onFault runs after the injector has applied the cluster hooks.
+func (r *replay) onFault(ev Event) {
+	if r.phase == phaseDone {
+		return
+	}
+	now := r.eng.Now()
+	switch ev.Kind {
+	case NodeFail, NodeHang:
+		r.res.Failures++
+		r.pending.Cancel()
+		if r.phase == phaseRestart {
+			r.res.LostHours += (now - r.phaseStart) / 3600
+		} else {
+			r.res.LostHours += (now - r.segWallStart) / 3600
+		}
+		r.downed = append(r.downed, ev.Node)
+		r.phase = phaseRestart
+		r.phaseStart = now
+		r.pending = r.eng.Schedule(r.restartS, r.restartDone)
+	case LinkDegrade:
+		r.res.Degrades++
+		r.degraded = append(r.degraded, ev.Node)
+		r.linkFactor *= ev.Factor
+		if r.phase == phaseWork {
+			// Re-aim the in-flight segment: bank the useful work done
+			// at the old rate, stretch the remainder at the new one.
+			r.segDone += (now - r.workStart) / r.slowdown
+			r.workStart = now
+			r.slowdown = 1 + r.commFrac*(r.linkFactor-1)
+			r.pending.Cancel()
+			r.pending = r.eng.Schedule((r.segLen-r.segDone)*r.slowdown, r.workDone)
+		}
+		// Mid-checkpoint or mid-restart the degradation only matters
+		// from the next work segment on (checkpoint and restart I/O
+		// are modelled as fixed costs).
+	}
+}

@@ -11,7 +11,8 @@ func TestRegistryCoversEveryPaperArtefact(t *testing.T) {
 		"fig3", "fig4", "fig5", "table4", "fig6", "fig7", "green500", "latpenalty",
 		"projection", "reliability", "iobottleneck", "energycompare", "ablation-openmx",
 		"bisection", "governor", "microserver", "accel", "green500-context", "stability",
-		"balance", "fabric", "hpl-grid", "gromacs-inputs", "fig7sweep", "hetero", "placement", "metering", "ompss"}
+		"balance", "fabric", "hpl-grid", "gromacs-inputs", "fig7sweep", "hetero", "placement", "metering", "ompss",
+		"faultsweep"}
 	have := map[string]bool{}
 	for _, e := range Experiments() {
 		have[e.ID] = true
@@ -61,7 +62,8 @@ func TestEveryExperimentProducesRows(t *testing.T) {
 
 func TestClusterExperimentsQuick(t *testing.T) {
 	for _, id := range []string{"fig6", "green500", "ablation-openmx", "energycompare", "green500-context",
-		"balance", "fabric", "hpl-grid", "gromacs-inputs", "fig7sweep", "hetero", "placement", "metering", "ompss"} {
+		"balance", "fabric", "hpl-grid", "gromacs-inputs", "fig7sweep", "hetero", "placement", "metering", "ompss",
+		"faultsweep"} {
 		e, err := ByID(id)
 		if err != nil {
 			t.Fatal(err)

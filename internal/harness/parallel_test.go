@@ -22,6 +22,7 @@ func TestExperimentsDeterministicAcrossJobs(t *testing.T) {
 	shortSet := map[string]bool{
 		"fig6": true, "green500": true, "fig7sweep": true,
 		"hetero": true, "stability": true, "fig7": true,
+		"faultsweep": true,
 	}
 	for _, e := range Experiments() {
 		e := e

@@ -146,6 +146,7 @@ var paperOrder = []string{
 	"projection", "reliability", "iobottleneck", "energycompare", "ablation-openmx",
 	"bisection", "governor", "microserver", "accel", "green500-context", "stability",
 	"balance", "fabric", "hpl-grid", "gromacs-inputs", "fig7sweep", "hetero", "placement", "metering", "ompss",
+	"faultsweep",
 }
 
 // Experiments returns all registered experiments in paper order;

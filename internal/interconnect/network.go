@@ -2,6 +2,7 @@ package interconnect
 
 import (
 	"fmt"
+	"math"
 
 	"mobilehpc/internal/sim"
 )
@@ -13,6 +14,10 @@ type Link struct {
 	Name string
 	Gbps float64
 	res  *sim.Resource
+	// degrade multiplies serialisation time: 1 is nominal, >1 models
+	// the §6.1 failure mode where an unstable PCIe/NIC attach delivers
+	// only a fraction of line rate. Mutated via Degrade/Restore.
+	degrade float64
 }
 
 // NewLink creates a link bound to engine e.
@@ -20,13 +25,33 @@ func NewLink(e *sim.Engine, name string, gbps float64) *Link {
 	if gbps <= 0 {
 		panic("interconnect: non-positive link bandwidth")
 	}
-	return &Link{Name: name, Gbps: gbps, res: sim.NewResource(e, 1)}
+	return &Link{Name: name, Gbps: gbps, res: sim.NewResource(e, 1), degrade: 1}
 }
 
-// SerializationTime returns the wire time for m bytes.
+// SerializationTime returns the wire time for m bytes, including any
+// active degradation factor.
 func (l *Link) SerializationTime(m int) float64 {
-	return float64(m) * 8 / (l.Gbps * 1e9)
+	return float64(m) * 8 / (l.Gbps * 1e9) * l.degrade
 }
+
+// Degrade stretches the link's serialisation time by factor — the §6.1
+// failure mode where a flaky PCIe/NIC attach drops to a fraction of
+// nominal bandwidth. Factors compound: a second Degrade multiplies the
+// first. Affects in-flight traffic from the next chunk onward.
+func (l *Link) Degrade(factor float64) {
+	if factor < 1 || math.IsNaN(factor) || math.IsInf(factor, 0) {
+		panic(fmt.Sprintf("interconnect: degrade factor %v < 1 on %s", factor, l.Name))
+	}
+	l.degrade *= factor
+}
+
+// Restore resets the link to nominal bandwidth (e.g. after the node's
+// NIC is power-cycled during a restart).
+func (l *Link) Restore() { l.degrade = 1 }
+
+// DegradeFactor returns the current serialisation-time multiplier
+// (1 when the link is healthy).
+func (l *Link) DegradeFactor() float64 { return l.degrade }
 
 // Transfer occupies the link for m bytes from process p, blocking p
 // while the link is busy with earlier messages.
@@ -67,6 +92,44 @@ type Network struct {
 	ChunkBytes int
 	route      func(src, dst int) []*Link
 	nodes      int
+	// up/down are the per-node NIC-attach links for topologies that
+	// have exactly one NIC per node (star, tree). Nil for topologies
+	// without a distinguished per-node attach point (the 3-D torus,
+	// where a node owns six directional links).
+	up, down []*Link
+}
+
+// NodeLinks returns node id's NIC-attach links (uplink then downlink),
+// or nil for topologies without per-node NIC links (the torus).
+func (n *Network) NodeLinks(id int) []*Link {
+	if id < 0 || id >= n.nodes {
+		panic(fmt.Sprintf("interconnect: node %d outside %d nodes", id, n.nodes))
+	}
+	if n.up == nil {
+		return nil
+	}
+	return []*Link{n.up[id], n.down[id]}
+}
+
+// DegradeNode stretches both NIC links of node id by factor — the
+// fault-injection hook for §6.1 PCIe/NIC instability. Panics on
+// topologies that do not expose per-node NIC links.
+func (n *Network) DegradeNode(id int, factor float64) {
+	links := n.NodeLinks(id)
+	if links == nil {
+		panic("interconnect: topology has no per-node NIC links to degrade")
+	}
+	for _, l := range links {
+		l.Degrade(factor)
+	}
+}
+
+// RestoreNode resets node id's NIC links to nominal bandwidth. A no-op
+// on topologies without per-node NIC links.
+func (n *Network) RestoreNode(id int) {
+	for _, l := range n.NodeLinks(id) {
+		l.Restore()
+	}
 }
 
 // Nodes returns the number of attached endpoints.
@@ -119,7 +182,7 @@ func SingleSwitch(e *sim.Engine, nodes int, gbps, switchLatUS float64) *Network 
 		down[i] = NewLink(e, fmt.Sprintf("down%d", i), gbps)
 	}
 	return &Network{
-		Eng: e, SwitchLatUS: switchLatUS, nodes: nodes,
+		Eng: e, SwitchLatUS: switchLatUS, nodes: nodes, up: up, down: down,
 		route: func(src, dst int) []*Link {
 			return []*Link{up[src], down[dst]}
 		},
@@ -148,7 +211,7 @@ func Tree(e *sim.Engine, nodes, radix int, gbps, uplinkGbps, switchLatUS float64
 		trunkDown[l] = NewLink(e, fmt.Sprintf("trunkDown%d", l), uplinkGbps)
 	}
 	return &Network{
-		Eng: e, SwitchLatUS: switchLatUS, nodes: nodes,
+		Eng: e, SwitchLatUS: switchLatUS, nodes: nodes, up: up, down: down,
 		route: func(src, dst int) []*Link {
 			ls, ld := src/radix, dst/radix
 			if ls == ld {

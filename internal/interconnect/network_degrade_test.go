@@ -1,0 +1,88 @@
+package interconnect
+
+import (
+	"testing"
+
+	"mobilehpc/internal/sim"
+)
+
+func TestLinkDegradeStretchesSerialization(t *testing.T) {
+	e := sim.NewEngine()
+	l := NewLink(e, "nic", 1.0)
+	base := l.SerializationTime(1 << 20)
+	if l.DegradeFactor() != 1 {
+		t.Fatalf("fresh link degrade factor = %v, want 1", l.DegradeFactor())
+	}
+	l.Degrade(4)
+	if got := l.SerializationTime(1 << 20); got != 4*base {
+		t.Errorf("degraded serialization = %v, want %v", got, 4*base)
+	}
+	l.Degrade(2) // factors compound
+	if got := l.DegradeFactor(); got != 8 {
+		t.Errorf("compounded factor = %v, want 8", got)
+	}
+	l.Restore()
+	if got := l.SerializationTime(1 << 20); got != base {
+		t.Errorf("restored serialization = %v, want %v", got, base)
+	}
+}
+
+func TestLinkDegradeRejectsBadFactor(t *testing.T) {
+	e := sim.NewEngine()
+	l := NewLink(e, "nic", 1.0)
+	for _, f := range []float64{0.5, 0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Degrade(%v): no panic", f)
+				}
+			}()
+			l.Degrade(f)
+		}()
+	}
+}
+
+func TestNetworkNodeLinks(t *testing.T) {
+	e := sim.NewEngine()
+	for name, n := range map[string]*Network{
+		"star": SingleSwitch(e, 4, 1.0, 2.0),
+		"tree": Tree(e, 8, 4, 1.0, 4.0, 2.0),
+	} {
+		links := n.NodeLinks(2)
+		if len(links) != 2 {
+			t.Fatalf("%s: NodeLinks(2) = %d links, want 2 (up, down)", name, len(links))
+		}
+		n.DegradeNode(2, 4)
+		for _, l := range links {
+			if l.DegradeFactor() != 4 {
+				t.Errorf("%s: %s factor = %v, want 4", name, l.Name, l.DegradeFactor())
+			}
+		}
+		// Other nodes untouched.
+		for _, l := range n.NodeLinks(1) {
+			if l.DegradeFactor() != 1 {
+				t.Errorf("%s: %s factor = %v, want 1", name, l.Name, l.DegradeFactor())
+			}
+		}
+		n.RestoreNode(2)
+		for _, l := range links {
+			if l.DegradeFactor() != 1 {
+				t.Errorf("%s: %s not restored (factor %v)", name, l.Name, l.DegradeFactor())
+			}
+		}
+	}
+}
+
+func TestTorusHasNoNodeLinks(t *testing.T) {
+	e := sim.NewEngine()
+	n := Torus3D(e, 2, 2, 2, 1.0, 2.0)
+	if links := n.NodeLinks(0); links != nil {
+		t.Fatalf("torus NodeLinks = %v, want nil", links)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("DegradeNode on torus: no panic")
+		}
+	}()
+	n.DegradeNode(0, 4)
+}

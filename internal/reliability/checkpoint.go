@@ -26,9 +26,25 @@ func OptimalCheckpointHours(checkpointCostHours, mtbfHours float64) float64 {
 // rework on average plus a restart:
 //
 //	overhead = C/interval  +  (interval/2 + restart) / MTBF
+//
+// The formula is only meaningful for C < interval: at C >= interval
+// the machine would spend every cycle checkpointing and the first-
+// order model degenerates, so that regime panics rather than
+// returning a nonsense value. An efficiency below zero in the
+// legitimate C < interval regime (MTBF so short that rework dominates)
+// clamps to 0.
 func CheckpointEfficiency(intervalHours, checkpointCostHours, restartHours, mtbfHours float64) float64 {
 	if intervalHours <= 0 || mtbfHours <= 0 {
 		panic("reliability: non-positive interval or MTBF")
+	}
+	if checkpointCostHours < 0 || restartHours < 0 {
+		panic("reliability: negative checkpoint or restart cost")
+	}
+	if checkpointCostHours >= intervalHours {
+		panic(fmt.Sprintf(
+			"reliability: checkpoint cost %vh >= interval %vh — the machine would only checkpoint; "+
+				"choose interval > cost (Young's optimum: OptimalCheckpointHours)",
+			checkpointCostHours, intervalHours))
 	}
 	overhead := checkpointCostHours/intervalHours +
 		(intervalHours/2+restartHours)/mtbfHours

@@ -29,9 +29,41 @@ func TestEfficiencyBounds(t *testing.T) {
 	if e := CheckpointEfficiency(1, 0.01, 0.01, 1000); e <= 0.9 || e >= 1 {
 		t.Errorf("benign regime efficiency = %v", e)
 	}
-	// Pathological regime clamps at zero.
-	if e := CheckpointEfficiency(0.001, 10, 10, 0.1); e != 0 {
+	// MTBF-dominated regime (legitimate C < interval, failures so
+	// frequent rework exceeds the interval) clamps at zero.
+	if e := CheckpointEfficiency(10, 0.001, 10, 0.1); e != 0 {
 		t.Errorf("pathological efficiency = %v, want 0", e)
+	}
+}
+
+// TestCheckpointCostBoundary pins the C-vs-interval boundary: the
+// formula degenerates at C >= interval, and used to return a nonsense
+// negative-clamped value there instead of failing loudly.
+func TestCheckpointCostBoundary(t *testing.T) {
+	cases := []struct {
+		name                          string
+		interval, cost, restart, mtbf float64
+		wantPanic                     bool
+	}{
+		{"cost equals interval", 1, 1, 0.05, 100, true},
+		{"cost exceeds interval", 0.001, 10, 10, 0.1, true},
+		{"negative cost", 1, -0.1, 0.05, 100, true},
+		{"negative restart", 1, 0.1, -0.05, 100, true},
+		{"cost just below interval", 1, 0.999, 0.05, 100, false},
+		{"benign", 4, 0.1, 0.05, 80, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if got := recover() != nil; got != c.wantPanic {
+					t.Errorf("panic = %v, want %v (recover: %v)", got, c.wantPanic, recover())
+				}
+			}()
+			e := CheckpointEfficiency(c.interval, c.cost, c.restart, c.mtbf)
+			if !c.wantPanic && (e < 0 || e >= 1 || math.IsNaN(e)) {
+				t.Errorf("efficiency = %v outside [0, 1)", e)
+			}
+		})
 	}
 }
 
