@@ -8,9 +8,9 @@
 GO ?= go
 TMP ?= /tmp/mhpc-smoke
 
-.PHONY: check vet build test race bench telemetry-smoke faults-smoke
+.PHONY: check vet build test race bench bench-smoke bench-snapshot telemetry-smoke faults-smoke
 
-check: vet build test race telemetry-smoke faults-smoke
+check: vet build test race telemetry-smoke faults-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -26,6 +26,26 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Fast anti-rot gate for the engine micro-benches: a fixed 100
+# iterations (no timing claims, race off) proves they still compile and
+# run. Part of `make check`.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'EngineThroughput|TransferChunked' -benchtime 100x \
+		./internal/sim ./internal/interconnect
+
+# Perf trajectory snapshot: run the headline benches and record them in
+# BENCH_v4.json (schema mhpc-bench-snapshot/v1; format documented in
+# DESIGN.md, Engine performance). The engine/interconnect micro-benches
+# get real benchtime; the multi-second macro benches run once.
+bench-snapshot:
+	rm -rf $(TMP)-bench && mkdir -p $(TMP)-bench
+	$(GO) test -run '^$$' -bench 'EngineThroughput|TransferChunked|EventDispatch|ProcSwitch' \
+		-benchmem ./internal/sim ./internal/interconnect > $(TMP)-bench/out.txt
+	$(GO) test -run '^$$' -bench 'RunAllJobs|Green500HPL' -benchtime 1x -benchmem . \
+		>> $(TMP)-bench/out.txt
+	$(GO) run ./cmd/benchsnap -o BENCH_v4.json < $(TMP)-bench/out.txt
+	$(GO) run ./cmd/jsoncheck BENCH_v4.json
 
 # End-to-end observability gate: run the full quick registry with every
 # telemetry exporter on, validate both JSON artefacts, and re-check

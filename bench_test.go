@@ -116,6 +116,7 @@ func BenchmarkTable4BytesPerFlops(b *testing.B) {
 func BenchmarkGreen500HPL(b *testing.B) {
 	// The full 96-node headline run, once per benchmark invocation
 	// (quick registry variant covered by BenchmarkFig6Scalability).
+	b.ReportAllocs()
 	var r hpl.Result
 	var mpw float64
 	for i := 0; i < b.N; i++ {
@@ -143,6 +144,7 @@ func BenchmarkLatencyPenalty(b *testing.B) {
 func BenchmarkRunAllJobs(b *testing.B) {
 	for _, j := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("j%d", j), func(b *testing.B) {
+			b.ReportAllocs()
 			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "host_cores")
 			for i := 0; i < b.N; i++ {
 				if err := harness.RunAll(io.Discard, harness.Options{Quick: true, Jobs: j}); err != nil {

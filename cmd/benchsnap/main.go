@@ -1,0 +1,147 @@
+// Command benchsnap parses `go test -bench` output on stdin and writes
+// a deterministic JSON snapshot of the results — the perf-trajectory
+// format recorded in BENCH_v4.json and documented in DESIGN.md (Engine
+// performance). Each benchmark line becomes one entry carrying ns/op,
+// B/op, allocs/op, and any custom ReportMetric units (events/s,
+// GFLOPS, ...).
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/benchsnap -o BENCH_v4.json
+//
+// Output schema ("mhpc-bench-snapshot/v1"):
+//
+//	{
+//	  "schema": "mhpc-bench-snapshot/v1",
+//	  "goos": "linux", "goarch": "amd64", "cpu": "...",
+//	  "benchmarks": [
+//	    {"name": "BenchmarkEngineThroughput/step-4", "iterations": 4711322,
+//	     "ns_per_op": 242.4, "bytes_per_op": 0, "allocs_per_op": 0,
+//	     "metrics": {"events/s": 4125359}}
+//	  ]
+//	}
+//
+// Benchmarks are emitted in input order; header lines (goos/goarch/cpu/
+// pkg) update the environment fields; PASS/FAIL/ok lines are ignored.
+// Exits non-zero if stdin contains no benchmark lines.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type benchResult struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+type snapshot struct {
+	Schema     string        `json:"schema"`
+	Goos       string        `json:"goos,omitempty"`
+	Goarch     string        `json:"goarch,omitempty"`
+	CPU        string        `json:"cpu,omitempty"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	snap := snapshot{Schema: "mhpc-bench-snapshot/v1"}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			snap.Goos = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			snap.Goarch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			snap.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		b, err := parseBenchLine(line)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
+			os.Exit(1)
+		}
+		snap.Benchmarks = append(snap.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchsnap: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine decodes one result line: the benchmark name, the
+// iteration count, then (value, unit) pairs — ns/op first, custom
+// ReportMetric units in between, B/op and allocs/op when -benchmem or
+// ReportAllocs was active.
+func parseBenchLine(line string) (benchResult, error) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return benchResult{}, fmt.Errorf("short benchmark line %q", line)
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return benchResult{}, fmt.Errorf("iteration count in %q: %v", line, err)
+	}
+	b := benchResult{Name: f[0], Iterations: iters}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return benchResult{}, fmt.Errorf("value %q in %q: %v", f[i], line, err)
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = ptr(v)
+		case "allocs/op":
+			b.AllocsPerOp = ptr(v)
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, nil
+}
+
+func ptr(v float64) *float64 { return &v }

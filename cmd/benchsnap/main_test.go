@@ -1,0 +1,51 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	line := "BenchmarkEngineThroughput/step-4   \t 4711322\t       242.4 ns/op\t   4125359 events/s\t       0 B/op\t       0 allocs/op"
+	b, err := parseBenchLine(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name != "BenchmarkEngineThroughput/step-4" {
+		t.Errorf("name = %q", b.Name)
+	}
+	if b.Iterations != 4711322 {
+		t.Errorf("iterations = %d", b.Iterations)
+	}
+	if b.NsPerOp != 242.4 {
+		t.Errorf("ns/op = %v", b.NsPerOp)
+	}
+	if b.BytesPerOp == nil || *b.BytesPerOp != 0 {
+		t.Errorf("B/op = %v", b.BytesPerOp)
+	}
+	if b.AllocsPerOp == nil || *b.AllocsPerOp != 0 {
+		t.Errorf("allocs/op = %v", b.AllocsPerOp)
+	}
+	if got := b.Metrics["events/s"]; got != 4125359 {
+		t.Errorf("events/s = %v", got)
+	}
+}
+
+func TestParseBenchLineNoBenchmem(t *testing.T) {
+	b, err := parseBenchLine("BenchmarkGreen500HPL \t       1\t15583512345 ns/op\t        99.51 GFLOPS\t       118.9 MFLOPS_per_W")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.BytesPerOp != nil || b.AllocsPerOp != nil {
+		t.Error("expected absent B/op and allocs/op to stay nil")
+	}
+	if b.Metrics["GFLOPS"] != 99.51 || b.Metrics["MFLOPS_per_W"] != 118.9 {
+		t.Errorf("metrics = %v", b.Metrics)
+	}
+}
+
+func TestParseBenchLineRejectsGarbage(t *testing.T) {
+	if _, err := parseBenchLine("BenchmarkX notanumber 1 ns/op"); err == nil {
+		t.Error("expected error for bad iteration count")
+	}
+	if _, err := parseBenchLine("BenchmarkX"); err == nil {
+		t.Error("expected error for short line")
+	}
+}

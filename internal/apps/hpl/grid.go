@@ -114,13 +114,6 @@ func hplFlopsOf(n int) float64 {
 	return 2.0/3.0*fn*fn*fn + 2*fn*fn
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // GridSpeedup compares the 1-D row layout with the best 2-D grid at
 // the same node count and problem size, returning time(1-D)/time(2-D).
 func GridSpeedup(nodes, n int) float64 {

@@ -117,7 +117,7 @@ func Run(cl *cluster.Cluster, nodes int, cfg Config) Result {
 	// single-threaded), but every access pattern — who factors, who is
 	// sent what, who updates — follows the distributed algorithm, and
 	// all inter-rank data still travels through simulated messages.
-	sv := &solver{work: aRef.Clone()}
+	sv := &solver{work: aRef.Clone(), piv: make([]int, 0, realN)}
 	var elapsed float64
 
 	mpi.Run(cl, nodes, func(r *mpi.Rank) {
@@ -180,11 +180,16 @@ func Run(cl *cluster.Cluster, nodes int, cfg Config) Result {
 	return res
 }
 
-// solver holds the per-run factorisation state: the working matrix and
-// the pivots chosen panel by panel.
+// solver holds the per-run factorisation state: the working matrix,
+// the pivots chosen panel by panel, and reusable per-step scratch for
+// the panel messages (the rows alias the working matrix and the pivot
+// slice is consumed before the next factorPanel, so reuse across steps
+// is safe — applyPanel only validates shape).
 type solver struct {
-	work *linalg.Matrix
-	piv  []int
+	work      *linalg.Matrix
+	piv       []int
+	panelRows [][]float64
+	panelPiv  []int
 }
 
 // pivotVector returns the recorded pivots, or identity pivoting if the
@@ -213,6 +218,7 @@ type panel struct {
 func (sv *solver) factorPanel(lo, hi int) (m panel) {
 	a := sv.work
 	n := a.Rows
+	m.piv = sv.panelPiv[:0]
 	for k := lo; k < hi && k < n; k++ {
 		p, maxv := k, math.Abs(a.At(k, k))
 		for i := k + 1; i < n; i++ {
@@ -244,9 +250,12 @@ func (sv *solver) factorPanel(lo, hi int) (m panel) {
 			}
 		}
 	}
+	m.rows = sv.panelRows[:0]
 	for k := lo; k < hi && k < n; k++ {
 		m.rows = append(m.rows, a.Row(k))
 	}
+	// Keep the (possibly grown) backing arrays for the next step.
+	sv.panelRows, sv.panelPiv = m.rows, m.piv
 	return m
 }
 
@@ -267,11 +276,4 @@ func panelFlops(bw, rem int) float64 {
 		f = 1
 	}
 	return f
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

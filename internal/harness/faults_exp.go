@@ -36,7 +36,7 @@ func runFaultSweep(o Options) *Table {
 		Columns: []string{"MTBF (h)", "interval (h)", "link faults", "analytic eff.",
 			"simulated eff.", "abs err", "fail/run", "deg/run"},
 	}
-	trials := 400
+	trials := 800
 	if o.Quick {
 		trials = 32
 	}

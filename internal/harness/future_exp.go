@@ -184,7 +184,7 @@ func runStability(o Options) *Table {
 		Columns: []string{"nodes", "24h interrupt prob", "expected attempts", "machine MTBF (h)", "Young interval (h)", "checkpointed eff.", "MC 24h survival"},
 	}
 	pcie := reliability.TibidaboPCIe()
-	trials := 20000
+	trials := 50000
 	if o.Quick {
 		trials = 2000
 	}

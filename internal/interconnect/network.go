@@ -13,6 +13,7 @@ import (
 type Link struct {
 	Name string
 	Gbps float64
+	eng  *sim.Engine
 	res  *sim.Resource
 	// degrade multiplies serialisation time: 1 is nominal, >1 models
 	// the §6.1 failure mode where an unstable PCIe/NIC attach delivers
@@ -25,7 +26,7 @@ func NewLink(e *sim.Engine, name string, gbps float64) *Link {
 	if gbps <= 0 {
 		panic("interconnect: non-positive link bandwidth")
 	}
-	return &Link{Name: name, Gbps: gbps, res: sim.NewResource(e, 1), degrade: 1}
+	return &Link{Name: name, Gbps: gbps, eng: e, res: sim.NewResource(e, 1), degrade: 1}
 }
 
 // SerializationTime returns the wire time for m bytes, including any
@@ -70,13 +71,33 @@ func (l *Link) TransferChunked(p *sim.Proc, m, chunk int) {
 		l.Transfer(p, m)
 		return
 	}
-	for sent := 0; sent < m; sent += chunk {
-		c := chunk
-		if m-sent < c {
-			c = m - sent
-		}
-		l.Transfer(p, c)
+	// Event-driven chunk pump: instead of a per-chunk blocking
+	// Acquire/Wait/Release cycle (one pooled event plus two goroutine
+	// handoffs per chunk), the chunks run as a two-state machine on the
+	// engine — acquire the link, schedule one chunk-end event, release,
+	// repeat — and p parks exactly once for the whole message. The event
+	// times and scheduling order are identical to the blocking loop
+	// (acquisition keeps its FIFO slot via AcquireFunc, and re-acquiring
+	// after a release still goes behind queued waiters), so contended
+	// interleavings — and goldens — are unchanged.
+	sent, cur := 0, 0
+	var acquired, sentDone func()
+	acquired = func() {
+		cur = min(chunk, m-sent)
+		l.eng.After(l.SerializationTime(cur), sentDone)
 	}
+	sentDone = func() {
+		sent += cur
+		l.res.Release()
+		if sent < m {
+			l.res.AcquireFunc(acquired)
+		} else {
+			p.Wake()
+		}
+	}
+	l.res.Acquire(p)
+	acquired()
+	p.Suspend()
 }
 
 // Network is a set of endpoints (node indices) joined by a routed
@@ -92,6 +113,11 @@ type Network struct {
 	ChunkBytes int
 	route      func(src, dst int) []*Link
 	nodes      int
+	// routeCache memoises route per (src,dst) pair, allocated lazily on
+	// first Route call. Safe because topologies route deterministically
+	// over a static link set: faults mutate link *state* (Degrade), never
+	// path membership.
+	routeCache [][]*Link
 	// up/down are the per-node NIC-attach links for topologies that
 	// have exactly one NIC per node (star, tree). Nil for topologies
 	// without a distinguished per-node attach point (the 3-D torus,
@@ -135,7 +161,9 @@ func (n *Network) RestoreNode(id int) {
 // Nodes returns the number of attached endpoints.
 func (n *Network) Nodes() int { return n.nodes }
 
-// Route returns the link path between two nodes.
+// Route returns the link path between two nodes. The returned slice is
+// cached and shared across calls for the same pair; callers must not
+// modify it.
 func (n *Network) Route(src, dst int) []*Link {
 	if src < 0 || src >= n.nodes || dst < 0 || dst >= n.nodes {
 		panic(fmt.Sprintf("interconnect: route %d->%d outside %d nodes", src, dst, n.nodes))
@@ -143,7 +171,16 @@ func (n *Network) Route(src, dst int) []*Link {
 	if src == dst {
 		return nil
 	}
-	return n.route(src, dst)
+	if n.routeCache == nil {
+		n.routeCache = make([][]*Link, n.nodes*n.nodes)
+	}
+	idx := src*n.nodes + dst
+	if r := n.routeCache[idx]; r != nil {
+		return r
+	}
+	r := n.route(src, dst)
+	n.routeCache[idx] = r
+	return r
 }
 
 // Deliver moves an m-byte message from src to dst on behalf of process

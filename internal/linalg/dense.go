@@ -323,10 +323,3 @@ func HPLFlops(n int) float64 {
 	fn := float64(n)
 	return 2.0/3.0*fn*fn*fn + 2*fn*fn
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -356,13 +356,6 @@ func TestAllreduceMaxProperty(t *testing.T) {
 	}
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // testClusterTree builds an n-node Tibidabo-topology cluster for
 // scale tests.
 func testClusterTree(n int) *cluster.Cluster {

@@ -12,6 +12,24 @@
 // interconnect models, the MPI runtime, and the cluster scalability
 // experiments all advance the same virtual clock.
 //
+// # Event queue
+//
+// The queue is a specialized 4-ary min-heap over *Event ordered by
+// (time, seq) — seq is a per-engine monotone counter, so the order is a
+// strict total order and equal-time events dispatch in scheduling
+// (FIFO) order. The current minimum is held outside the heap in a
+// one-element cache, so the dominant stepping pattern (dispatch one
+// event, schedule the next) never touches the heap at all. Cancelled
+// events are deleted lazily: Cancel only marks the event, and the
+// dispatch loop drops marked events when they surface at the minimum.
+//
+// Two scheduling APIs share that queue. Schedule/At return a *Event
+// handle that supports Cancel; each call allocates, because the handle
+// may outlive the firing. After/AtFunc return no handle and recycle
+// their events through a per-engine free list, so steady-state
+// scheduling through them — and through everything built on them:
+// Proc.Wait, Queue wakeups, Resource handoffs — allocates nothing.
+//
 // # Concurrency contract
 //
 // An Engine is single-goroutine: while Run is active, only the one
@@ -21,23 +39,28 @@
 // task its own Engine; it never shares one across workers. Scheduling
 // onto an engine from a second goroutine while Run is active panics
 // with a diagnostic rather than silently corrupting the event heap
-// (see checkOwner).
+// (see checkOwner). Schedule and At verify ownership on every call;
+// the After/AtFunc fast path amortises the (expensive, runtime.Stack
+// based) verification over every 64th in-Run call, so sustained misuse
+// still panics while the hot path stays hot.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"runtime"
 	"sync/atomic"
 )
 
-// Event is a scheduled callback. It can be cancelled before it fires.
+// Event is a scheduled callback handle returned by Schedule and At. It
+// can be cancelled before it fires. Events scheduled through the
+// After/AtFunc fast path are pooled internally and never exposed.
 type Event struct {
 	time     float64
 	seq      uint64
 	fn       func()
-	index    int // heap index, -1 when not queued
+	next     *Event // free-list link while recycled (pooled events only)
+	pooled   bool   // recycled through the engine free list after firing
 	canceled bool
 }
 
@@ -45,36 +68,16 @@ type Event struct {
 func (e *Event) Time() float64 { return e.time }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
+// already-cancelled event is a no-op. The event stays queued as a
+// placeholder until it surfaces at the top of the queue (lazy deletion).
 func (e *Event) Cancel() { e.canceled = true }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+// less orders events by (time, seq): earlier time first, and FIFO
+// scheduling order among equal-time events. seq is unique per engine,
+// so this is a strict total order — dispatch order cannot depend on
+// heap shape.
+func less(a, b *Event) bool {
+	return a.time < b.time || (a.time == b.time && a.seq < b.seq)
 }
 
 // Observer receives engine activity callbacks for telemetry: one
@@ -116,8 +119,10 @@ func SetDefaultObserver(o Observer) { defaultObserver.Store(observerBox{o}) }
 type Engine struct {
 	now     float64
 	seq     uint64
-	queue   eventHeap
-	procs   int // live processes, for leak detection
+	head    *Event   // cached queue minimum; nil iff the queue is empty
+	heap    []*Event // 4-ary min-heap of the remaining events
+	free    *Event   // free list of recycled pooled events
+	procs   int      // live processes, for leak detection
 	stopped bool
 	obs     Observer // nil = no telemetry (the default)
 
@@ -126,15 +131,20 @@ type Engine struct {
 	// logical thread of control (the dispatch loop, or the process it
 	// has resumed — the handoff points in proc.go keep it current).
 	// Both are atomics only so that a misbehaving second goroutine can
-	// read them race-free on its way to the diagnostic panic.
+	// read them race-free on its way to the diagnostic panic. Goroutine
+	// ids are parsed from runtime.Stack exactly once per goroutine
+	// (Run entry, first process resume) and cached — loopGid below and
+	// Proc.gid — so steady-state handoffs never pay for the parse.
 	running atomic.Bool
 	owner   atomic.Int64
+	loopGid int64  // cached goroutine id of the Run dispatch loop
+	postN   uint64 // in-Run After/AtFunc calls, for the sampled check
 }
 
 // gid returns the current goroutine's id, parsed from the header line
-// of its stack trace ("goroutine N [...]"). The buffer is deliberately
-// tiny: only the header is needed, and truncating early keeps the call
-// cheap enough for every Schedule during Run.
+// of its stack trace ("goroutine N [...]"). Costly (microseconds): the
+// engine calls it once per Run and once per spawned process, never per
+// event.
 func gid() int64 {
 	var buf [32]byte
 	n := runtime.Stack(buf[:], false)
@@ -159,6 +169,19 @@ func (e *Engine) checkOwner() {
 	}
 }
 
+// checkOwnerSampled is the amortised ownership check of the After/
+// AtFunc fast path: full gid verification (a runtime.Stack parse) on
+// every 64th in-Run call. A legitimate caller pays two branches; a
+// rogue goroutine calling in a loop still panics within 64 calls.
+func (e *Engine) checkOwnerSampled() {
+	if e.running.Load() {
+		e.postN++
+		if e.postN&63 == 0 {
+			e.checkOwner()
+		}
+	}
+}
+
 // NewEngine returns an engine with the clock at zero and an empty
 // queue, observed by the current default observer (normally nil).
 func NewEngine() *Engine {
@@ -177,8 +200,10 @@ func (e *Engine) SetObserver(o Observer) { e.obs = o }
 // Now returns the current virtual time in seconds.
 func (e *Engine) Now() float64 { return e.now }
 
-// Schedule queues fn to run after delay seconds of virtual time.
-// A negative delay is an error in the caller; it panics.
+// Schedule queues fn to run after delay seconds of virtual time and
+// returns a cancellable handle. A negative delay is an error in the
+// caller; it panics. For hot paths that never cancel, prefer After —
+// it recycles events and allocates nothing in steady state.
 func (e *Engine) Schedule(delay float64, fn func()) *Event {
 	e.checkOwner()
 	if delay < 0 || math.IsNaN(delay) {
@@ -187,7 +212,8 @@ func (e *Engine) Schedule(delay float64, fn func()) *Event {
 	return e.at(e.now+delay, fn)
 }
 
-// At queues fn to run at absolute virtual time t (>= Now).
+// At queues fn to run at absolute virtual time t (>= Now) and returns
+// a cancellable handle.
 func (e *Engine) At(t float64, fn func()) *Event {
 	e.checkOwner()
 	return e.at(t, fn)
@@ -200,12 +226,135 @@ func (e *Engine) at(t float64, fn func()) *Event {
 		panic(fmt.Sprintf("sim: scheduling in the past: t=%v now=%v", t, e.now))
 	}
 	e.seq++
-	ev := &Event{time: t, seq: e.seq, fn: fn, index: -1}
-	heap.Push(&e.queue, ev)
-	if e.obs != nil {
-		e.obs.EventScheduled(len(e.queue))
-	}
+	ev := &Event{time: t, seq: e.seq, fn: fn}
+	e.insert(ev)
 	return ev
+}
+
+// After queues fn to run after delay seconds of virtual time. Unlike
+// Schedule it returns no handle: the event cannot be cancelled, and in
+// exchange it is recycled through the engine's free list, so
+// steady-state scheduling through After allocates nothing. This is the
+// fast path under Proc.Wait, queue and resource wakeups, and the
+// interconnect's chunked transfers. Ownership misuse is detected on a
+// sampled basis (see the package comment).
+func (e *Engine) After(delay float64, fn func()) {
+	e.checkOwnerSampled()
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("sim: negative or NaN delay %v", delay))
+	}
+	e.post(e.now+delay, fn)
+}
+
+// AtFunc queues fn to run at absolute virtual time t (>= Now) with the
+// same no-handle, allocation-free contract as After.
+func (e *Engine) AtFunc(t float64, fn func()) {
+	e.checkOwnerSampled()
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling in the past: t=%v now=%v", t, e.now))
+	}
+	e.post(t, fn)
+}
+
+// post queues fn at absolute time t on a pooled event. Internal fast
+// path: no ownership check, no validation — callers (After, AtFunc,
+// proc.go) have already established t >= now.
+func (e *Engine) post(t float64, fn func()) {
+	e.seq++
+	ev := e.free
+	if ev != nil {
+		e.free = ev.next
+		ev.next = nil
+		ev.time, ev.seq, ev.fn, ev.canceled = t, e.seq, fn, false
+	} else {
+		ev = &Event{time: t, seq: e.seq, fn: fn, pooled: true}
+	}
+	e.insert(ev)
+}
+
+// insert places ev into the queue: into the cached-minimum slot when
+// it beats (or the queue lacks) the current head, otherwise into the
+// heap. The stepping pattern — dispatch empties the queue, the
+// callback schedules the successor — therefore runs entirely through
+// the head slot and never sifts the heap.
+func (e *Engine) insert(ev *Event) {
+	if e.head == nil {
+		e.head = ev
+	} else if less(ev, e.head) {
+		e.heapPush(e.head)
+		e.head = ev
+	} else {
+		e.heapPush(ev)
+	}
+	if e.obs != nil {
+		e.obs.EventScheduled(len(e.heap) + 1)
+	}
+}
+
+// heapPush sifts ev up the 4-ary heap.
+func (e *Engine) heapPush(ev *Event) {
+	h := append(e.heap, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !less(ev, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = ev
+	e.heap = h
+}
+
+// heapPopRoot removes the heap minimum and restores heap order by
+// sifting the displaced last element down. 4-ary: half the depth of a
+// binary heap, and the four-child scan stays within one cache line of
+// pointers.
+func (e *Engine) heapPopRoot() {
+	h := e.heap
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	h = h[:n]
+	e.heap = h
+	if n == 0 {
+		return
+	}
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		m := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if less(h[c], h[m]) {
+				m = c
+			}
+		}
+		if !less(h[m], last) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = last
+}
+
+// recycle returns a pooled event to the free list (and drops the
+// callback reference either way, so fired closures can be collected
+// while a caller still holds the handle).
+func (e *Engine) recycle(ev *Event) {
+	ev.fn = nil
+	if ev.pooled {
+		ev.next = e.free
+		e.free = ev
+	}
 }
 
 // Stop makes Run return after the current event completes.
@@ -215,31 +364,57 @@ func (e *Engine) Stop() { e.stopped = true }
 // clock would pass limit (use math.Inf(1) for no limit). It returns the
 // final virtual time.
 func (e *Engine) Run(limit float64) float64 {
-	e.owner.Store(gid())
+	e.loopGid = gid()
+	e.owner.Store(e.loopGid)
 	e.running.Store(true)
 	defer e.running.Store(false)
 	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped {
-		ev := e.queue[0]
+	for !e.stopped {
+		// The minimum is head or the heap root; ties are impossible
+		// (seq is unique).
+		ev := e.head
+		fromHeap := false
+		if len(e.heap) > 0 && (ev == nil || less(e.heap[0], ev)) {
+			ev = e.heap[0]
+			fromHeap = true
+		}
+		if ev == nil {
+			break
+		}
 		if ev.canceled {
-			heap.Pop(&e.queue)
+			// Lazy deletion: drop the placeholder now that it surfaced.
+			e.dropMin(fromHeap)
 			if e.obs != nil {
 				e.obs.EventCanceled()
 			}
+			e.recycle(ev)
 			continue
 		}
 		if ev.time > limit {
 			e.now = limit
 			return e.now
 		}
-		heap.Pop(&e.queue)
+		e.dropMin(fromHeap)
 		e.now = ev.time
 		if e.obs != nil {
 			e.obs.EventDispatched()
 		}
-		ev.fn()
+		fn := ev.fn
+		// Recycle before running fn so the callback's own After can
+		// reuse this very event — the steady-state zero-alloc loop.
+		e.recycle(ev)
+		fn()
 	}
 	return e.now
+}
+
+// dropMin removes the current minimum from wherever it lives.
+func (e *Engine) dropMin(fromHeap bool) {
+	if fromHeap {
+		e.heapPopRoot()
+	} else {
+		e.head = nil
+	}
 }
 
 // RunAll runs with no time limit.
@@ -247,7 +422,13 @@ func (e *Engine) RunAll() float64 { return e.Run(math.Inf(1)) }
 
 // Pending reports how many events (including cancelled placeholders)
 // remain queued.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int {
+	n := len(e.heap)
+	if e.head != nil {
+		n++
+	}
+	return n
+}
 
 // LiveProcs reports how many spawned processes have not yet returned.
 // After RunAll in a well-formed simulation this should be zero; a nonzero

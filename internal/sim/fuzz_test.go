@@ -1,0 +1,64 @@
+package sim
+
+import "testing"
+
+// FuzzLazyDeletion feeds arbitrary schedule/cancel sequences through
+// the engine and the slice-scan reference model of
+// heap_property_test.go. Each byte pair is one root event: the first
+// byte picks its time (three low bits, so ties abound), the second
+// optionally cancels an earlier event — before the run, so cancelled
+// placeholders sit in the head slot and at arbitrary heap positions
+// when dispatch reaches them (the lazy-deletion path).
+func FuzzLazyDeletion(f *testing.F) {
+	// Seeds: cancel the queue head, cancel heap interior entries,
+	// cancel everything, duplicate times throughout.
+	f.Add([]byte{0, 0, 1, 1, 2, 0, 3, 0})       // head cancelled twice
+	f.Add([]byte{7, 0, 3, 0, 5, 1, 1, 3, 2, 5}) // interior + root cancels
+	f.Add([]byte{4, 1, 4, 1, 4, 1, 4, 1, 4, 1}) // all-ties, cancel chain
+	f.Add([]byte{1, 1, 2, 3, 3, 5, 4, 7, 5, 9}) // cancel every event
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 || len(data) > 512 {
+			return
+		}
+		var roots []*specEv
+		var cancelAt [][2]int // (canceller index, target index)
+		for i := 0; i+1 < len(data); i += 2 {
+			id := len(roots)
+			roots = append(roots, &specEv{id: id, delay: float64(data[i] & 7)})
+			if data[i+1]&1 == 1 && id > 0 {
+				cancelAt = append(cancelAt, [2]int{id, int(data[i+1]) % id})
+			}
+		}
+		// Apply the cancels to the scripts: the canceller cancels its
+		// target when it fires — unless the second byte's high bit is
+		// set, in which case the cancel happens up front, before Run,
+		// exercising cancellation of never-dispatched placeholders.
+		var preCancel []int
+		for _, c := range cancelAt {
+			if data[2*c[0]+1]&0x80 != 0 {
+				preCancel = append(preCancel, c[1])
+			} else {
+				roots[c[0]].cancels = append(roots[c[0]].cancels, c[1])
+			}
+		}
+		want := refRunPre(roots, preCancel)
+		got := engineRunPre(roots, preCancel)
+		compareFires(t, got, want)
+	})
+}
+
+// refRunPre / engineRunPre wrap the property-test executors with a set
+// of up-front cancellations: a synthetic event at time 0, scheduled
+// first (so it strictly precedes every other event by (time, seq)),
+// performs the cancels, and its fire record is stripped from the
+// comparison.
+func refRunPre(roots []*specEv, pre []int) []refFire {
+	extra := &specEv{id: -1, cancels: pre}
+	return refRun(append([]*specEv{extra}, roots...))[1:]
+}
+
+func engineRunPre(roots []*specEv, pre []int) []refFire {
+	extra := &specEv{id: -1, cancels: pre}
+	fires := engineRun(append([]*specEv{extra}, roots...))
+	return fires[1:]
+}

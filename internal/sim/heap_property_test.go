@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The property tests pin the engine's dispatch semantics — equal-time
+// FIFO order, cancel-before-fire, lazy deletion — against a trivially
+// correct reference model: a flat slice scanned for the (time, seq)
+// minimum. Any specialized-heap bug (wrong sift, head/heap confusion,
+// free-list recycling a live event) shows up as an order or time
+// divergence.
+
+// specEv is a pre-generated event script: when it fires it cancels some
+// root handles and schedules child events.
+type specEv struct {
+	id       int
+	delay    float64 // from the moment it is scheduled
+	viaAfter bool    // schedule through After (pooled) vs Schedule (handle)
+	cancels  []int   // root ids to Cancel when firing
+	children []*specEv
+}
+
+// genSpec builds a randomized script tree. Root events are scheduled up
+// front via Schedule (so they have cancellable handles); children are a
+// mix of After and Schedule. Times are drawn from a tiny set so ties are
+// the norm, not the exception.
+func genSpec(rng *rand.Rand, nextID *int, depth, nRoots int) []*specEv {
+	var gen func(depth int) *specEv
+	gen = func(depth int) *specEv {
+		s := &specEv{id: *nextID, delay: float64(rng.Intn(4))}
+		*nextID++
+		if depth > 0 {
+			for c := rng.Intn(3); c > 0; c-- {
+				ch := gen(depth - 1)
+				ch.viaAfter = rng.Intn(2) == 0
+				s.children = append(s.children, ch)
+			}
+		}
+		for c := rng.Intn(2); c > 0; c-- {
+			s.cancels = append(s.cancels, rng.Intn(nRoots))
+		}
+		return s
+	}
+	roots := make([]*specEv, nRoots)
+	for i := range roots {
+		roots[i] = gen(depth)
+	}
+	return roots
+}
+
+type refFire struct {
+	id int
+	t  float64
+}
+
+// refRun executes the scripts on the reference model: a slice of queued
+// entries, minimum chosen by linear scan over (time, seq), cancelled
+// entries dropped when they surface — the specification the engine's
+// 4-ary heap plus lazy deletion must match exactly.
+func refRun(roots []*specEv) []refFire {
+	type refEv struct {
+		t        float64
+		seq      int
+		s        *specEv
+		canceled bool
+	}
+	var (
+		queue []*refEv
+		seq   int
+		fires []refFire
+		now   float64
+		byID  = map[int]*refEv{}
+	)
+	// Only roots have cancellable handles on the engine side, so only
+	// roots are cancellable in the model (cancel ids may collide with
+	// child ids; those are no-ops in both executions).
+	rootSet := map[*specEv]bool{}
+	for _, r := range roots {
+		rootSet[r] = true
+	}
+	push := func(s *specEv, t float64) {
+		seq++
+		ev := &refEv{t: t, seq: seq, s: s}
+		queue = append(queue, ev)
+		if rootSet[s] {
+			byID[s.id] = ev
+		}
+	}
+	for _, r := range roots {
+		push(r, r.delay)
+	}
+	for len(queue) > 0 {
+		mi := 0
+		for i, ev := range queue {
+			if ev.t < queue[mi].t || (ev.t == queue[mi].t && ev.seq < queue[mi].seq) {
+				mi = i
+			}
+		}
+		ev := queue[mi]
+		queue = append(queue[:mi], queue[mi+1:]...)
+		if ev.canceled {
+			continue
+		}
+		now = ev.t
+		fires = append(fires, refFire{ev.s.id, now})
+		for _, cid := range ev.s.cancels {
+			if target, ok := byID[cid]; ok {
+				target.canceled = true
+			}
+		}
+		for _, ch := range ev.s.children {
+			push(ch, now+ch.delay)
+		}
+	}
+	return fires
+}
+
+// engineRun executes the same scripts on the real engine and records
+// the fire sequence.
+func engineRun(roots []*specEv) []refFire {
+	e := NewEngine()
+	handles := map[int]*Event{}
+	var fires []refFire
+	var exec func(s *specEv) func()
+	exec = func(s *specEv) func() {
+		return func() {
+			fires = append(fires, refFire{s.id, e.Now()})
+			for _, cid := range s.cancels {
+				if h, ok := handles[cid]; ok {
+					h.Cancel()
+				}
+			}
+			for _, ch := range s.children {
+				if ch.viaAfter {
+					e.After(ch.delay, exec(ch))
+				} else {
+					e.Schedule(ch.delay, exec(ch))
+				}
+			}
+		}
+	}
+	for _, r := range roots {
+		handles[r.id] = e.Schedule(r.delay, exec(r))
+	}
+	e.RunAll()
+	return fires
+}
+
+func compareFires(t *testing.T, got, want []refFire) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("engine fired %d events, reference model %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fire %d: engine got id=%d t=%v, reference wants id=%d t=%v",
+				i, got[i].id, got[i].t, want[i].id, want[i].t)
+		}
+	}
+}
+
+// TestEngineMatchesReferenceModel drives randomized schedule/cancel
+// scripts — heavy on equal-time ties and cancel-before-fire — through
+// both the engine and the slice-scan reference model and requires
+// identical fire sequences.
+func TestEngineMatchesReferenceModel(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nextID := 0
+		roots := genSpec(rng, &nextID, 3, 2+rng.Intn(30))
+		want := refRun(roots)
+		got := engineRun(roots)
+		if len(want) == 0 {
+			t.Fatalf("seed %d: degenerate script (no fires)", seed)
+		}
+		compareFires(t, got, want)
+	}
+}
+
+// TestEqualTimeFIFOAcrossHeapAndHead schedules many events at one
+// instant — far more than the head slot can hold — and checks strict
+// scheduling order, i.e. FIFO ties survive heap sifting.
+func TestEqualTimeFIFOAcrossHeapAndHead(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 500; i++ {
+		i := i
+		if i%2 == 0 {
+			e.After(5, func() { got = append(got, i) })
+		} else {
+			e.Schedule(5, func() { got = append(got, i) })
+		}
+	}
+	e.RunAll()
+	if len(got) != 500 {
+		t.Fatalf("fired %d of 500", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("position %d fired event %d: equal-time FIFO violated", i, v)
+		}
+	}
+}
+
+// TestCancelBeforeFireNeverRuns cancels events in every queue position
+// (head slot, heap root, heap interior) and checks none of them run and
+// all placeholders drain.
+func TestCancelBeforeFireNeverRuns(t *testing.T) {
+	e := NewEngine()
+	fired := map[int]bool{}
+	var handles []*Event
+	for i := 0; i < 64; i++ {
+		i := i
+		handles = append(handles, e.Schedule(float64(i%8), func() { fired[i] = true }))
+	}
+	for i, h := range handles {
+		if i%3 == 0 {
+			h.Cancel()
+		}
+	}
+	e.RunAll()
+	for i := range handles {
+		if i%3 == 0 && fired[i] {
+			t.Fatalf("cancelled event %d fired", i)
+		}
+		if i%3 != 0 && !fired[i] {
+			t.Fatalf("live event %d never fired", i)
+		}
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("queue not drained: %d pending", e.Pending())
+	}
+}

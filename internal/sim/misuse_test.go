@@ -55,6 +55,36 @@ func TestAtFromSecondGoroutinePanics(t *testing.T) {
 	}
 }
 
+// After's ownership check is amortised (every 64th in-Run call does the
+// full goroutine-id verification), so a rogue goroutine hammering the
+// fast path must still panic within one sampling window.
+func TestAfterFromSecondGoroutinePanicsSampled(t *testing.T) {
+	e := NewEngine()
+	got := make(chan any, 1)
+	e.Schedule(0, func() {
+		done := make(chan struct{})
+		go func() {
+			defer func() {
+				got <- recover()
+				close(done)
+			}()
+			for i := 0; i < 64; i++ {
+				e.After(1e6, func() {}) // far future: never dispatched mid-test
+			}
+		}()
+		<-done
+	})
+	e.Run(10)
+	r := <-got
+	if r == nil {
+		t.Fatal("64 After calls from a second goroutine during Run did not panic")
+	}
+	msg, ok := r.(string)
+	if !ok || !strings.Contains(msg, "second goroutine") {
+		t.Fatalf("panic message %v does not explain the misuse", r)
+	}
+}
+
 // Legitimate single-goroutine use — including from engine processes,
 // which run on their own goroutines but only ever hold control one at
 // a time — must not trip the ownership check.

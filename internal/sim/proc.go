@@ -9,10 +9,15 @@ import "fmt"
 type Proc struct {
 	eng    *Engine
 	name   string
+	gid    int64         // cached goroutine id, set once at first resume
 	resume chan struct{} // engine -> proc: run
 	parked chan struct{} // proc -> engine: parked or done
 	dead   bool
 	panicV any
+	// wake resumes this process from engine context. Allocated once at
+	// spawn so Wait/Queue/Resource wakeups schedule it with no per-call
+	// closure.
+	wake func()
 }
 
 // Name returns the name given at spawn time.
@@ -33,10 +38,14 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 		resume: make(chan struct{}),
 		parked: make(chan struct{}),
 	}
+	p.wake = func() { e.switchTo(p) }
 	e.procs++
 	go func() {
 		<-p.resume
-		e.owner.Store(gid()) // control handed to this process
+		// Control handed to this process for the first time: learn our
+		// goroutine id once; every later handoff reuses it.
+		p.gid = gid()
+		e.owner.Store(p.gid)
 		defer func() {
 			p.dead = true
 			e.procs--
@@ -47,7 +56,7 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 		}()
 		fn(p)
 	}()
-	e.Schedule(0, func() { e.switchTo(p) })
+	e.Schedule(0, p.wake)
 	return p
 }
 
@@ -59,7 +68,7 @@ func (e *Engine) switchTo(p *Proc) {
 	}
 	p.resume <- struct{}{}
 	<-p.parked
-	e.owner.Store(gid()) // control back in the dispatch loop
+	e.owner.Store(e.loopGid) // control back in the dispatch loop
 	if p.panicV != nil {
 		panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, p.panicV))
 	}
@@ -69,12 +78,24 @@ func (e *Engine) switchTo(p *Proc) {
 func (p *Proc) park() {
 	p.parked <- struct{}{}
 	<-p.resume
-	p.eng.owner.Store(gid()) // control handed back to this process
+	p.eng.owner.Store(p.gid) // control handed back to this process
 }
+
+// Suspend parks the calling process with no scheduled wakeup; some other
+// component must eventually call Wake (directly, or by scheduling p's
+// wakeup through a Queue or Resource). This is the building block for
+// event-driven state machines that complete a blocking call on a
+// process's behalf, e.g. the interconnect's chunked transfer pump.
+func (p *Proc) Suspend() { p.park() }
+
+// Wake resumes a process parked by Suspend and runs it until it parks
+// again. Must be called from engine (event-callback) context, exactly
+// like any other resume.
+func (p *Proc) Wake() { p.eng.switchTo(p) }
 
 // Wait suspends the process for d seconds of virtual time.
 func (p *Proc) Wait(d float64) {
-	p.eng.Schedule(d, func() { p.eng.switchTo(p) })
+	p.eng.After(d, p.wake)
 	p.park()
 }
 
@@ -84,7 +105,7 @@ func (p *Proc) WaitUntil(t float64) {
 	if t <= p.eng.now {
 		return
 	}
-	p.eng.At(t, func() { p.eng.switchTo(p) })
+	p.eng.AtFunc(t, p.wake)
 	p.park()
 }
 
@@ -111,7 +132,7 @@ func (q *Queue) Push(v any) {
 	if len(q.waiters) > 0 {
 		w := q.waiters[0]
 		q.waiters = q.waiters[:copy(q.waiters, q.waiters[1:])]
-		q.eng.Schedule(0, func() { q.eng.switchTo(w) })
+		q.eng.post(q.eng.now, w.wake)
 	}
 }
 
@@ -141,9 +162,13 @@ func (q *Queue) TryPop() (v any, ok bool) {
 // caller while no units are free. It models contended serial resources
 // such as a NIC DMA engine or a shared link injection port.
 type Resource struct {
-	eng     *Engine
-	free    int
-	waiters []*Proc
+	eng  *Engine
+	free int
+	// waiters is the FIFO of pending acquisitions, each represented by
+	// the callback that receives the unit: a process's wake function
+	// (Acquire) or a plain continuation (AcquireFunc). One queue keeps
+	// the two acquisition styles strictly FIFO with each other.
+	waiters []func()
 }
 
 // NewResource returns a resource with capacity units available.
@@ -166,19 +191,33 @@ func (r *Resource) Acquire(p *Proc) {
 		r.free--
 		return
 	}
-	r.waiters = append(r.waiters, p)
+	r.waiters = append(r.waiters, p.wake)
 	p.park()
 	// Woken by Release, which handed the unit to us directly.
 }
 
-// Release returns one unit: if processes are queued, the unit passes
+// AcquireFunc takes one unit and runs fn once it is held: immediately
+// (before returning) when a unit is free and nobody is queued, otherwise
+// from the event that hands the unit over, in the same FIFO position a
+// blocking Acquire would have had. The event-driven counterpart to
+// Acquire for callers that must not park a process per acquisition.
+func (r *Resource) AcquireFunc(fn func()) {
+	if r.free > 0 && len(r.waiters) == 0 {
+		r.free--
+		fn()
+		return
+	}
+	r.waiters = append(r.waiters, fn)
+}
+
+// Release returns one unit: if acquirers are queued, the unit passes
 // directly to the oldest waiter (it owns the resource when it wakes);
 // otherwise the free count grows.
 func (r *Resource) Release() {
 	if len(r.waiters) > 0 {
 		w := r.waiters[0]
 		r.waiters = r.waiters[:copy(r.waiters, r.waiters[1:])]
-		r.eng.Schedule(0, func() { r.eng.switchTo(w) })
+		r.eng.post(r.eng.now, w)
 		return
 	}
 	r.free++
