@@ -2,15 +2,17 @@
 # the full wall a PR must clear: vet, build, the tier-1 test suite, the
 # race smoke pass that exercises the parallel experiment pool (and the
 # fault-injection package), the telemetry smoke run that proves the
-# exporters emit valid JSON without perturbing stdout, and the faults
+# exporters emit valid JSON without perturbing stdout, the faults
 # smoke run that proves a fault-injected sweep is byte-identical across
-# -j and lands its injected events in the run manifest.
+# -j and lands its injected events in the run manifest, and the serve
+# smoke run that boots the real mhpcd binary and exercises cache,
+# admission control, and SIGTERM drain over live HTTP.
 GO ?= go
 TMP ?= /tmp/mhpc-smoke
 
-.PHONY: check vet build test race bench bench-smoke bench-snapshot telemetry-smoke faults-smoke
+.PHONY: check vet build test race bench bench-smoke bench-snapshot telemetry-smoke faults-smoke serve-smoke
 
-check: vet build test race telemetry-smoke faults-smoke bench-smoke
+check: vet build test race telemetry-smoke faults-smoke bench-smoke serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -72,3 +74,12 @@ faults-smoke:
 	$(GO) run ./cmd/jsoncheck $(TMP)-faults/trace.json
 	$(GO) run ./cmd/jsoncheck -counters faults.injected,faults.node_fail,faults.node_hang,faults.link_degrade,faults.checkpoints,faults.restarts \
 		$(TMP)-faults/manifest.json
+
+# End-to-end serving gate: build and exec the real mhpcd binary, then
+# drive it over HTTP — an uncached run, a byte-identical cached replay,
+# a 429 under admission overflow, and a SIGTERM mid-flight that must
+# drain (aborting the straggler through the cancellation path) and
+# exit 0. Race mode on: the server's cache/singleflight/admission
+# state is all shared-memory concurrent.
+serve-smoke:
+	MHPC_SERVE_SMOKE=1 $(GO) test -race -run TestServeSmoke -count=1 ./cmd/mhpcd

@@ -23,7 +23,10 @@
 //
 // Benchmarks are emitted in input order; header lines (goos/goarch/cpu/
 // pkg) update the environment fields; PASS/FAIL/ok lines are ignored.
-// Exits non-zero if stdin contains no benchmark lines.
+// -max-line bounds the scanner's line buffer (default 1 MiB); -o is
+// written atomically (temp file + fsync + rename), so an interrupted
+// run never leaves a truncated snapshot. Exits non-zero if stdin
+// contains no benchmark lines.
 package main
 
 import (
@@ -34,6 +37,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"mobilehpc/internal/core"
 )
 
 type benchResult struct {
@@ -55,11 +60,16 @@ type snapshot struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	maxLine := flag.Int("max-line", 1<<20, "maximum input line length in bytes")
 	flag.Parse()
+	if err := core.PositiveInt("max-line", *maxLine); err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
+		os.Exit(2)
+	}
 
 	snap := snapshot{Schema: "mhpc-bench-snapshot/v1"}
 	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sc.Buffer(make([]byte, 64<<10), *maxLine)
 	for sc.Scan() {
 		line := sc.Text()
 		switch {
@@ -102,7 +112,9 @@ func main() {
 		os.Stdout.Write(enc)
 		return
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	// Atomic so a crash mid-write can't leave a truncated snapshot
+	// where the perf-trajectory tooling would read garbage.
+	if err := core.WriteFileAtomic(*out, enc); err != nil {
 		fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
 		os.Exit(1)
 	}

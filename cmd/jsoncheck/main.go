@@ -7,15 +7,18 @@
 //
 // Usage:
 //
-//	go run ./cmd/jsoncheck [-counters a,b,c] file.json [file2.json ...]
+//	go run ./cmd/jsoncheck [-counters a,b,c] [-max-bytes N] file.json [file2.json ...]
 //
 // With -counters, each file must additionally be a run manifest whose
 // "counters" object contains every named counter with a value > 0 —
 // the faults-smoke gate uses this to prove injected fault events
 // actually reached the manifest.
 //
-// Exits non-zero naming the first file that is missing, malformed, or
-// missing a required counter.
+// -max-bytes caps the accepted file size (default 64 MiB), so a
+// runaway trace cannot make the smoke gate swallow gigabytes.
+//
+// Exits non-zero naming the first file that is missing, oversized,
+// malformed, or missing a required counter.
 package main
 
 import (
@@ -24,14 +27,22 @@ import (
 	"fmt"
 	"os"
 	"strings"
+
+	"mobilehpc/internal/core"
 )
 
 func main() {
 	counters := flag.String("counters", "",
 		"comma-separated counter names each manifest must carry with value > 0")
+	maxBytes := flag.Int("max-bytes", 1<<26,
+		"maximum file size in bytes accepted per argument")
 	flag.Parse()
+	if err := core.PositiveInt("max-bytes", *maxBytes); err != nil {
+		fmt.Fprintf(os.Stderr, "jsoncheck: %v\n", err)
+		os.Exit(2)
+	}
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: jsoncheck [-counters a,b,c] file.json [file2.json ...]")
+		fmt.Fprintln(os.Stderr, "usage: jsoncheck [-counters a,b,c] [-max-bytes N] file.json [file2.json ...]")
 		os.Exit(2)
 	}
 	var required []string
@@ -39,6 +50,11 @@ func main() {
 		required = strings.Split(*counters, ",")
 	}
 	for _, path := range flag.Args() {
+		if fi, err := os.Stat(path); err == nil && fi.Size() > int64(*maxBytes) {
+			fmt.Fprintf(os.Stderr, "jsoncheck: %s: %d bytes exceeds -max-bytes %d\n",
+				path, fi.Size(), *maxBytes)
+			os.Exit(1)
+		}
 		data, err := os.ReadFile(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "jsoncheck: %v\n", err)

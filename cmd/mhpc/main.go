@@ -30,6 +30,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -37,8 +39,9 @@ import (
 	"net/http"
 	_ "net/http/pprof" // registered on the default mux, served behind -pprof
 	"os"
-	"runtime"
+	"os/signal"
 	"strconv"
+	"syscall"
 
 	"mobilehpc/internal/cluster"
 	"mobilehpc/internal/core"
@@ -63,19 +66,19 @@ func defaultJobsSpec() string {
 	return "1"
 }
 
-// parseJobs validates a -j / MHPC_PARALLEL value: a positive integer,
-// or "auto" for one worker per CPU. Zero, negative, and non-numeric
-// values are rejected with a descriptive error.
-func parseJobs(s string) (int, error) {
-	if s == "auto" {
-		return runtime.GOMAXPROCS(0), nil
-	}
-	n, err := strconv.Atoi(s)
-	if err != nil || n <= 0 {
-		return 0, fmt.Errorf(
-			"invalid worker count %q: want a positive integer or \"auto\" (one per CPU)", s)
-	}
-	return n, nil
+// parseJobs validates a -j / MHPC_PARALLEL value via the shared
+// strict parser (internal/core): a positive integer, or "auto" for
+// one worker per CPU. Zero, negative, and non-numeric values are
+// rejected with a descriptive error.
+func parseJobs(s string) (int, error) { return core.ParseJobs(s) }
+
+// commandContext returns a context cancelled by SIGINT/SIGTERM, so a
+// long registry run aborts cleanly (engines unwind, goroutines
+// drained, partial output suppressed) instead of dying mid-write. The
+// second signal falls through to the default handler and kills the
+// process.
+func commandContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 }
 
 func main() {
@@ -212,17 +215,13 @@ func (t *telemetry) finish() error {
 	return nil
 }
 
-// writeFileWith creates path and streams write(f) into it.
+// writeFileWith streams write(f) into path atomically
+// (temp file + fsync + rename, via core.AtomicWriteFile), so a crash
+// or write error mid-export can never leave a truncated JSON artifact
+// where downstream tools (jsoncheck, chrome://tracing) would choke on
+// it.
 func writeFileWith(path string, write func(w io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return core.AtomicWriteFile(path, write)
 }
 
 func list() error {
@@ -248,12 +247,17 @@ func run(args []string) error {
 	if err != nil {
 		return fmt.Errorf("run: %w", err)
 	}
+	ctx, cancel := commandContext()
+	defer cancel()
 	tel := startTelemetry(tf, "run", j, *quick)
-	tabs, err := harness.Tables(fs.Args(), harness.Options{Quick: *quick, Jobs: j})
+	tabs, err := harness.TablesContext(ctx, fs.Args(), harness.Options{Quick: *quick, Jobs: j})
 	if ferr := tel.finish(); err == nil {
 		err = ferr
 	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			return fmt.Errorf("run: aborted by signal: %w", err)
+		}
 		return err
 	}
 	for _, tab := range tabs {
@@ -280,10 +284,15 @@ func all(args []string) error {
 	if err != nil {
 		return fmt.Errorf("all: %w", err)
 	}
+	ctx, cancel := commandContext()
+	defer cancel()
 	tel := startTelemetry(tf, "all", j, *quick)
-	err = core.RunAllExperimentsParallel(os.Stdout, *quick, j)
+	err = core.RunAllExperimentsContext(ctx, os.Stdout, *quick, j)
 	if ferr := tel.finish(); err == nil {
 		err = ferr
+	}
+	if err != nil && errors.Is(err, context.Canceled) {
+		return fmt.Errorf("all: aborted by signal: %w", err)
 	}
 	return err
 }
@@ -294,6 +303,12 @@ func runTrace(args []string) error {
 	steps := fs.Int("steps", 5, "time steps")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if err := core.FirstError(
+		core.PositiveInt("nodes", *nodes),
+		core.PositiveInt("steps", *steps),
+	); err != nil {
+		return fmt.Errorf("trace: %w", err)
 	}
 	cl := cluster.Tibidabo(*nodes)
 	grid := 2048
@@ -337,6 +352,12 @@ func runTune(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := core.FirstError(
+		core.PositiveInt("n", *n),
+		core.PositiveInt("reps", *reps),
+	); err != nil {
+		return fmt.Errorf("tune: %w", err)
+	}
 	fmt.Printf("autotuning gemm block size on this host (n=%d, the §5 ATLAS step)...\n", *n)
 	res := linalg.TuneGemm(*n, *reps)
 	for i, c := range res.Candidates {
@@ -358,6 +379,12 @@ func runHPL(args []string) error {
 	hours := fs.Float64("hours", 24, "useful work hours of the fault-injected run (with -faults)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if err := core.FirstError(
+		core.PositiveInt("nodes", *nodes),
+		core.PositiveFloat("hours", *hours),
+	); err != nil {
+		return fmt.Errorf("hpl: %w", err)
 	}
 	n := int(8192 * math.Sqrt(float64(*nodes)))
 	r, mpw := core.TibidaboHPL(*nodes, n)

@@ -1,6 +1,10 @@
 package main
 
 import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
@@ -92,6 +96,43 @@ func TestFaultReportDeterministic(t *testing.T) {
 	}
 	if render(4) == a {
 		t.Error("different fault seeds produced identical reports")
+	}
+}
+
+// writeFileWith (the telemetry exporter sink) must be atomic: an
+// exporter that fails mid-stream may not leave a truncated artifact —
+// the previous file survives untouched and no temp file is left
+// behind. This is the regression test for the old os.Create-then-write
+// path, which left half a JSON trace on any error.
+func TestWriteFileWithIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.json")
+	if err := writeFileWith(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("exporter failed")
+	if err := writeFileWith(path, func(w io.Writer) error {
+		io.WriteString(w, `{"traceEvents":[{"truncated`)
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the exporter's error", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != `{"traceEvents":[]}` {
+		t.Fatalf("previous trace corrupted by failed export: %q", got)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("temp residue after failed export: %d entries", len(ents))
 	}
 }
 

@@ -1,0 +1,132 @@
+// Command mhpcd serves the mobilehpc experiment registry over HTTP:
+// a long-running result service in front of the same deterministic
+// simulations the mhpc CLI runs.
+//
+// Usage:
+//
+//	mhpcd [-addr :8080] [-j N] [-concurrency N] [-queue N]
+//	      [-timeout D] [-cache N] [-drain D]
+//
+// Endpoints:
+//
+//	GET  /experiments    list experiment ids, titles, paper artefacts
+//	POST /run/{id}       run one experiment; options quick/csv/seed as
+//	                     query parameters or a JSON body
+//	GET  /result/{key}   re-fetch a cached result by its content key
+//	GET  /healthz        "ok", or 503 once draining
+//	GET  /metrics        sorted "name value" counter/gauge lines
+//
+// Results are content-addressed: the response key is a hash of
+// (id, seed, quick, csv), identical requests hit the in-memory cache,
+// and concurrent identical requests coalesce onto a single execution.
+// The seed never changes the simulation (runs are deterministic); it
+// is a replica salt for clients that want to force a fresh execution.
+//
+// Admission is bounded: -concurrency runs execute at once, -queue more
+// may wait, and anything beyond that is rejected with 429 immediately.
+// Each run is cancelled at the earliest of client disconnect, the
+// -timeout bound (504), or shutdown. On SIGINT/SIGTERM the server
+// stops accepting work (healthz turns 503), lets in-flight runs finish
+// for up to -drain, then aborts the stragglers mid-simulation via the
+// harness cancellation path, and exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mobilehpc/internal/core"
+	"mobilehpc/internal/obs"
+)
+
+func main() {
+	if err := serve(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mhpcd:", err)
+		os.Exit(1)
+	}
+}
+
+// serve parses flags, runs the server, and blocks until a clean
+// shutdown; the process exits 0 whenever the drain completed, even if
+// stragglers had to be aborted.
+func serve(args []string) error {
+	fs := flag.NewFlagSet("mhpcd", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	jobs := fs.String("j", "auto", "worker pool size per run (a positive integer, or 'auto' = one per CPU)")
+	concurrency := fs.Int("concurrency", 2, "experiment runs executing at once")
+	queue := fs.Int("queue", 8, "additional runs allowed to wait for a slot (0 = reject when busy)")
+	timeout := fs.Duration("timeout", 60*time.Second, "per-run wall clock bound")
+	cacheSize := fs.Int("cache", 128, "results kept in the in-memory cache (0 disables caching)")
+	drain := fs.Duration("drain", 10*time.Second, "grace period for in-flight runs on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	j, err := core.ParseJobs(*jobs)
+	if err != nil {
+		return err
+	}
+	if err := core.FirstError(
+		core.PositiveInt("concurrency", *concurrency),
+		core.NonNegativeInt("queue", *queue),
+		core.NonNegativeInt("cache", *cacheSize),
+		core.PositiveFloat("timeout", timeout.Seconds()),
+		core.PositiveFloat("drain", drain.Seconds()),
+	); err != nil {
+		return err
+	}
+
+	s := newServer(serverConfig{
+		jobs:        j,
+		concurrency: *concurrency,
+		queue:       *queue,
+		timeout:     *timeout,
+		cacheSize:   *cacheSize,
+	})
+	// Publish the collector process-wide so /metrics sees the same
+	// counters the harness substrate feeds.
+	obs.SetActive(s.col)
+	defer obs.SetActive(nil)
+
+	srv := &http.Server{Addr: *addr, Handler: s.handler()}
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "mhpcd: serving on %s (concurrency %d, queue %d, cache %d, timeout %v)\n",
+		*addr, *concurrency, *queue, *cacheSize, *timeout)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	// Graceful drain: refuse new work, give in-flight runs the grace
+	// period, then abort stragglers mid-simulation and close.
+	fmt.Fprintln(os.Stderr, "mhpcd: draining...")
+	s.beginDrain()
+	shCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		s.abortRuns()
+		forceCtx, forceCancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer forceCancel()
+		if err := srv.Shutdown(forceCtx); err != nil {
+			srv.Close()
+		}
+	}
+	fmt.Fprintln(os.Stderr, "mhpcd: drained, bye")
+	return nil
+}

@@ -1,0 +1,402 @@
+package main
+
+// The mhpcd service core: a result server over the experiment
+// registry. Every run is deterministic (same id + options, same
+// bytes), so results are content-addressed — the cache key is a hash
+// of the full run request — and concurrent identical requests
+// coalesce onto one execution (singleflight). Admission is bounded:
+// -concurrency runs execute at once, -queue more may wait, and
+// everything past that is rejected with 429 instead of piling up
+// goroutines. Cancellation rides the PR's abort plumbing: each run
+// gets a context bounded by the request, the per-run timeout, and the
+// server's drain deadline, and harness.TablesContext unwinds the
+// simulation engines mid-event when any of them fires.
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mobilehpc/internal/harness"
+	"mobilehpc/internal/obs"
+)
+
+// errBusy is the admission-control rejection: concurrency slots and
+// the waiting queue are both full.
+var errBusy = errors.New("mhpcd: at capacity, try again later")
+
+// runParams is the full identity of one run request. Two requests
+// with equal runParams produce byte-identical output (experiments are
+// internally deterministic), which is what makes the content-addressed
+// cache sound. Seed does not alter the simulation — it is a replica
+// salt: clients that want a fresh execution rather than a cache hit
+// send a new seed.
+type runParams struct {
+	ID    string `json:"id"`
+	Seed  uint64 `json:"seed"`
+	Quick bool   `json:"quick"`
+	CSV   bool   `json:"csv"`
+}
+
+// key returns the content address of the params: a hex-encoded
+// truncated SHA-256 over an unambiguous encoding of every field.
+func (p runParams) key() string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("%s\x00%d\x00%t\x00%t", p.ID, p.Seed, p.Quick, p.CSV)))
+	return hex.EncodeToString(h[:16])
+}
+
+// runResult is the JSON envelope every result endpoint returns.
+type runResult struct {
+	Key       string `json:"key"`
+	ID        string `json:"id"`
+	Seed      uint64 `json:"seed"`
+	Cached    bool   `json:"cached"`
+	Coalesced bool   `json:"coalesced,omitempty"`
+	Output    string `json:"output"`
+}
+
+// call is one in-flight singleflight execution: followers block on
+// done and then read data/err exactly as the leader published them.
+type call struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// serverConfig is everything newServer needs; main fills it from
+// flags, tests fill it directly.
+type serverConfig struct {
+	jobs        int           // worker pool size passed to each run
+	concurrency int           // runs executing at once
+	queue       int           // additional runs allowed to wait
+	timeout     time.Duration // per-run wall clock bound
+	cacheSize   int           // cached results kept (FIFO); 0 disables
+	runFn       func(ctx context.Context, p runParams) ([]byte, error)
+}
+
+// server serves the experiment registry over HTTP. All state is
+// process-local: the cache and flight table die with the process.
+type server struct {
+	cfg      serverConfig
+	col      *obs.Collector
+	sem      chan struct{} // concurrency slots
+	waiting  chan struct{} // admission: concurrency + queue tokens
+	draining atomic.Bool
+
+	// baseCtx is cancelled when the drain deadline expires: it aborts
+	// runs that outlive a graceful shutdown.
+	baseCtx   context.Context
+	abortRuns context.CancelFunc
+
+	mu     sync.Mutex
+	cache  map[string]runResult
+	order  []string // cache keys, oldest first (FIFO eviction)
+	flight map[string]*call
+}
+
+// newServer wires a server from cfg; a nil cfg.runFn gets the real
+// registry runner.
+func newServer(cfg serverConfig) *server {
+	s := &server{
+		cfg:     cfg,
+		col:     obs.New(),
+		sem:     make(chan struct{}, cfg.concurrency),
+		waiting: make(chan struct{}, cfg.concurrency+cfg.queue),
+		cache:   map[string]runResult{},
+		flight:  map[string]*call{},
+	}
+	s.baseCtx, s.abortRuns = context.WithCancel(context.Background())
+	if s.cfg.runFn == nil {
+		s.cfg.runFn = func(ctx context.Context, p runParams) ([]byte, error) {
+			return runExperimentBytes(ctx, p, cfg.jobs)
+		}
+	}
+	return s
+}
+
+// runExperimentBytes executes one registry experiment under ctx and
+// renders it (table or CSV) to bytes. This is the only place mhpcd
+// touches the simulation substrate.
+func runExperimentBytes(ctx context.Context, p runParams, jobs int) ([]byte, error) {
+	tabs, err := harness.TablesContext(ctx, []string{p.ID}, harness.Options{Quick: p.Quick, Jobs: jobs})
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	for _, tab := range tabs {
+		if p.CSV {
+			err = tab.CSV(&buf)
+		} else {
+			err = tab.Render(&buf)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// handler builds the route table (Go 1.22 method/path patterns).
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /experiments", s.handleExperiments)
+	mux.HandleFunc("POST /run/{id}", s.handleRun)
+	mux.HandleFunc("GET /result/{key}", s.handleResult)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// counter is sugar over the collector (nil-safe by obs contract).
+func (s *server) counter(name string) *obs.Counter { return s.col.Counter(name) }
+
+// beginDrain flips the server into shutdown mode: healthz reports 503
+// (load balancers stop sending) and new runs are refused while
+// already-admitted ones finish.
+func (s *server) beginDrain() { s.draining.Store(true) }
+
+func (s *server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	s.counter("serve.requests").Add(1)
+	type entry struct {
+		ID    string `json:"id"`
+		Title string `json:"title"`
+		Paper string `json:"paper"`
+	}
+	var out []entry
+	for _, e := range harness.Experiments() {
+		out = append(out, entry{ID: e.ID, Title: e.Title, Paper: e.Paper})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	vals := s.col.Counters()
+	for k, v := range s.col.Gauges() {
+		vals[k] = v
+	}
+	names := make([]string, 0, len(vals))
+	for k := range vals {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, k := range names {
+		fmt.Fprintf(w, "%s %d\n", k, vals[k])
+	}
+}
+
+func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
+	s.counter("serve.requests").Add(1)
+	key := r.PathValue("key")
+	s.mu.Lock()
+	res, ok := s.cache[key]
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, "unknown result key (evicted or never computed)", http.StatusNotFound)
+		return
+	}
+	s.counter("serve.cache_hits").Add(1)
+	res.Cached = true
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.counter("serve.requests").Add(1)
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	id := r.PathValue("id")
+	if _, err := harness.ByID(id); err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	p, err := parseRunParams(id, r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	key := p.key()
+
+	s.mu.Lock()
+	if res, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		s.counter("serve.cache_hits").Add(1)
+		res.Cached = true
+		writeJSON(w, http.StatusOK, res)
+		return
+	}
+	c, leader := s.joinLocked(key)
+	s.mu.Unlock()
+
+	if !leader {
+		s.counter("serve.singleflight_hits").Add(1)
+		select {
+		case <-c.done:
+		case <-r.Context().Done():
+			http.Error(w, "client went away while coalesced", http.StatusServiceUnavailable)
+			return
+		}
+		s.respondRun(w, p, key, c.data, c.err, true)
+		return
+	}
+
+	data, runErr := s.admitAndRun(r.Context(), p)
+	s.finish(key, p, c, data, runErr)
+	s.respondRun(w, p, key, data, runErr, false)
+}
+
+// joinLocked registers interest in key's execution. The first caller
+// becomes the leader (runs the experiment); everyone else is a
+// follower waiting on the same call. s.mu must be held.
+func (s *server) joinLocked(key string) (c *call, leader bool) {
+	if c, ok := s.flight[key]; ok {
+		return c, false
+	}
+	c = &call{done: make(chan struct{})}
+	s.flight[key] = c
+	return c, true
+}
+
+// admitAndRun pushes one run through admission control and executes
+// it. The run's context is bounded three ways: the request context
+// (client hangs up), the per-run timeout, and the server's baseCtx
+// (drain deadline expired).
+func (s *server) admitAndRun(ctx context.Context, p runParams) ([]byte, error) {
+	select {
+	case s.waiting <- struct{}{}:
+	default:
+		s.counter("serve.rejected").Add(1)
+		return nil, errBusy
+	}
+	defer func() { <-s.waiting }()
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-s.baseCtx.Done():
+		return nil, s.baseCtx.Err()
+	}
+	defer func() { <-s.sem }()
+
+	runCtx, cancel := context.WithTimeout(ctx, s.cfg.timeout)
+	defer cancel()
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	defer stop()
+
+	g := s.col.Gauge("serve.inflight")
+	g.Add(1)
+	defer g.Add(-1)
+	s.counter("serve.runs").Add(1)
+	data, err := s.cfg.runFn(runCtx, p)
+	if err != nil && errors.Is(err, context.DeadlineExceeded) {
+		s.counter("serve.timeouts").Add(1)
+	}
+	return data, err
+}
+
+// finish publishes the leader's outcome to followers, caches a
+// success, and retires the flight entry.
+func (s *server) finish(key string, p runParams, c *call, data []byte, err error) {
+	s.mu.Lock()
+	delete(s.flight, key)
+	if err == nil && s.cfg.cacheSize > 0 {
+		for len(s.order) >= s.cfg.cacheSize {
+			delete(s.cache, s.order[0])
+			s.order = s.order[1:]
+		}
+		s.cache[key] = runResult{Key: key, ID: p.ID, Seed: p.Seed, Output: string(data)}
+		s.order = append(s.order, key)
+	}
+	s.mu.Unlock()
+	c.data, c.err = data, err
+	close(c.done)
+}
+
+// respondRun maps a run outcome onto HTTP: 200 with the JSON envelope
+// on success; 429 at capacity, 504 on per-run timeout, 503 when the
+// run died to a drain or client hang-up, 500 otherwise.
+func (s *server) respondRun(w http.ResponseWriter, p runParams, key string, data []byte, err error, coalesced bool) {
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, runResult{
+			Key: key, ID: p.ID, Seed: p.Seed, Coalesced: coalesced, Output: string(data),
+		})
+	case errors.Is(err, errBusy):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, "run exceeded the per-request timeout", http.StatusGatewayTimeout)
+	case errors.Is(err, context.Canceled):
+		http.Error(w, "run aborted (shutdown or client hang-up)", http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// parseRunParams decodes the run options: an optional JSON body
+// ({"quick":true,"csv":false,"seed":7}) with query parameters
+// (?quick=1&csv=0&seed=7) overriding it. Garbage values are a 400,
+// never a silent default — the same strictness contract as the CLI
+// flags.
+func parseRunParams(id string, r *http.Request) (runParams, error) {
+	p := runParams{ID: id}
+	if r.Body != nil && r.ContentLength != 0 {
+		dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<16))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&p); err != nil {
+			return p, fmt.Errorf("invalid JSON body: %v", err)
+		}
+		p.ID = id // the path, not the body, names the experiment
+	}
+	q := r.URL.Query()
+	if v := q.Get("quick"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return p, fmt.Errorf("invalid quick=%q: want a boolean", v)
+		}
+		p.Quick = b
+	}
+	if v := q.Get("csv"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return p, fmt.Errorf("invalid csv=%q: want a boolean", v)
+		}
+		p.CSV = b
+	}
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return p, fmt.Errorf("invalid seed=%q: want an unsigned integer", v)
+		}
+		p.Seed = n
+	}
+	return p, nil
+}
+
+// writeJSON writes v as a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

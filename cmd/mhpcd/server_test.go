@@ -1,0 +1,381 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testConfig returns a config with a fast fake runner: it echoes the
+// params and counts executions, optionally blocking until released.
+func testConfig(run func(ctx context.Context, p runParams) ([]byte, error)) serverConfig {
+	return serverConfig{
+		jobs: 1, concurrency: 2, queue: 2,
+		timeout: time.Second, cacheSize: 8,
+		runFn: run,
+	}
+}
+
+// echoRun is the trivial deterministic runner used where execution
+// details don't matter.
+func echoRun(ctx context.Context, p runParams) ([]byte, error) {
+	return []byte(fmt.Sprintf("run %s seed=%d quick=%v csv=%v", p.ID, p.Seed, p.Quick, p.CSV)), nil
+}
+
+// postRun issues POST /run/{id}+query and returns status and decoded
+// body (or raw text for non-200s).
+func postRun(t *testing.T, ts *httptest.Server, path string) (int, runResult, string) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res runResult
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &res); err != nil {
+			t.Fatalf("bad JSON envelope %q: %v", raw, err)
+		}
+	}
+	return resp.StatusCode, res, string(raw)
+}
+
+// metric fetches one value from /metrics (0 when absent).
+func metric(t *testing.T, ts *httptest.Server, name string) int64 {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	for _, line := range strings.Split(string(raw), "\n") {
+		var k string
+		var v int64
+		if _, err := fmt.Sscanf(line, "%s %d", &k, &v); err == nil && k == name {
+			return v
+		}
+	}
+	return 0
+}
+
+func TestExperimentsEndpoint(t *testing.T) {
+	ts := httptest.NewServer(newServer(testConfig(echoRun)).handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list []struct{ ID, Title, Paper string }
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) == 0 {
+		t.Fatal("empty experiment list")
+	}
+	ids := map[string]bool{}
+	for _, e := range list {
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"table1", "fig6"} {
+		if !ids[want] {
+			t.Errorf("experiment %q missing from listing", want)
+		}
+	}
+}
+
+func TestUnknownExperimentIs404(t *testing.T) {
+	ts := httptest.NewServer(newServer(testConfig(echoRun)).handler())
+	defer ts.Close()
+	code, _, body := postRun(t, ts, "/run/nope")
+	if code != http.StatusNotFound {
+		t.Fatalf("status %d (%s), want 404", code, body)
+	}
+}
+
+func TestBadParamsAre400(t *testing.T) {
+	ts := httptest.NewServer(newServer(testConfig(echoRun)).handler())
+	defer ts.Close()
+	for _, q := range []string{"?quick=maybe", "?csv=2x", "?seed=-1", "?seed=abc"} {
+		if code, _, _ := postRun(t, ts, "/run/table1"+q); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", q, code)
+		}
+	}
+}
+
+// The cache + /result contract: a repeated identical request is served
+// from memory (cached:true, runner not re-invoked), and the returned
+// key re-fetches the same bytes from /result.
+func TestCacheAndResultEndpoint(t *testing.T) {
+	var runs int64
+	var mu sync.Mutex
+	ts := httptest.NewServer(newServer(testConfig(func(ctx context.Context, p runParams) ([]byte, error) {
+		mu.Lock()
+		runs++
+		mu.Unlock()
+		return echoRun(ctx, p)
+	})).handler())
+	defer ts.Close()
+
+	code, first, body := postRun(t, ts, "/run/table1?quick=1&seed=7")
+	if code != http.StatusOK {
+		t.Fatalf("status %d (%s)", code, body)
+	}
+	if first.Cached {
+		t.Error("first request reported cached")
+	}
+	code, second, _ := postRun(t, ts, "/run/table1?quick=1&seed=7")
+	if code != http.StatusOK || !second.Cached || second.Output != first.Output {
+		t.Fatalf("repeat: code %d cached %v, want 200 cached true with identical output", code, second.Cached)
+	}
+	mu.Lock()
+	if runs != 1 {
+		t.Errorf("runner invoked %d times, want 1", runs)
+	}
+	mu.Unlock()
+
+	// A different seed is a different content address: fresh run.
+	code, salted, _ := postRun(t, ts, "/run/table1?quick=1&seed=8")
+	if code != http.StatusOK || salted.Cached || salted.Key == first.Key {
+		t.Errorf("salted run: code %d cached %v key %q vs %q", code, salted.Cached, salted.Key, first.Key)
+	}
+
+	resp, err := http.Get(ts.URL + "/result/" + first.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var fetched runResult
+	if err := json.NewDecoder(resp.Body).Decode(&fetched); err != nil {
+		t.Fatal(err)
+	}
+	if !fetched.Cached || fetched.Output != first.Output {
+		t.Errorf("/result returned cached=%v output %q", fetched.Cached, fetched.Output)
+	}
+	if resp, err := http.Get(ts.URL + "/result/deadbeef"); err != nil || resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown key: %v %v, want 404", resp.StatusCode, err)
+	}
+}
+
+// Singleflight: N concurrent identical requests execute the runner
+// exactly once; the followers coalesce and all see the same bytes.
+func TestSingleflightCoalescesIdenticalRequests(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 16)
+	var runs int64
+	var mu sync.Mutex
+	ts := httptest.NewServer(newServer(testConfig(func(ctx context.Context, p runParams) ([]byte, error) {
+		mu.Lock()
+		runs++
+		mu.Unlock()
+		started <- struct{}{}
+		<-release
+		return echoRun(ctx, p)
+	})).handler())
+	defer ts.Close()
+
+	const n = 6
+	type reply struct {
+		code int
+		res  runResult
+	}
+	replies := make(chan reply, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			code, res, _ := postRun(t, ts, "/run/fig6?quick=1&seed=42")
+			replies <- reply{code, res}
+		}()
+	}
+	<-started // leader is inside the runner
+	// Hold the leader until every follower has registered on its
+	// flight entry (each bumps singleflight_hits just before
+	// blocking), so none of them can race past to a cache hit.
+	deadline := time.Now().Add(5 * time.Second)
+	for metric(t, ts, "serve.singleflight_hits") < n-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("followers never coalesced: singleflight_hits = %d",
+				metric(t, ts, "serve.singleflight_hits"))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	close(replies)
+
+	var coalesced int
+	var output string
+	for r := range replies {
+		if r.code != http.StatusOK {
+			t.Fatalf("status %d", r.code)
+		}
+		if output == "" {
+			output = r.res.Output
+		} else if r.res.Output != output {
+			t.Fatal("divergent outputs across coalesced requests")
+		}
+		if r.res.Coalesced {
+			coalesced++
+		}
+	}
+	mu.Lock()
+	got := runs
+	mu.Unlock()
+	if got != 1 {
+		t.Errorf("runner executed %d times for %d identical requests, want 1", got, n)
+	}
+	if coalesced == 0 {
+		t.Error("no request reported coalesced")
+	}
+	if m := metric(t, ts, "serve.runs"); m != 1 {
+		t.Errorf("serve.runs = %d, want 1", m)
+	}
+	if m := metric(t, ts, "serve.singleflight_hits"); m < 1 {
+		t.Errorf("serve.singleflight_hits = %d, want >= 1", m)
+	}
+}
+
+// Admission control: with one slot and no waiting room, a second
+// distinct request is rejected 429 while the first still runs.
+func TestOverflowIs429(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	cfg := testConfig(func(ctx context.Context, p runParams) ([]byte, error) {
+		started <- struct{}{}
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return echoRun(ctx, p)
+	})
+	cfg.concurrency, cfg.queue = 1, 0
+	ts := httptest.NewServer(newServer(cfg).handler())
+	defer ts.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if code, _, _ := postRun(t, ts, "/run/table1?quick=1"); code != http.StatusOK {
+			t.Errorf("occupying run: status %d", code)
+		}
+	}()
+	<-started
+	code, _, body := postRun(t, ts, "/run/fig6?quick=1")
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("overflow status %d (%s), want 429", code, body)
+	}
+	if m := metric(t, ts, "serve.rejected"); m != 1 {
+		t.Errorf("serve.rejected = %d, want 1", m)
+	}
+	close(release)
+	<-done
+}
+
+// A run that exceeds -timeout is cancelled (the runner sees its
+// context expire) and reported as 504.
+func TestTimeoutIs504(t *testing.T) {
+	cfg := testConfig(func(ctx context.Context, p runParams) ([]byte, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	cfg.timeout = 20 * time.Millisecond
+	ts := httptest.NewServer(newServer(cfg).handler())
+	defer ts.Close()
+	code, _, body := postRun(t, ts, "/run/table1?quick=1")
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d (%s), want 504", code, body)
+	}
+	if m := metric(t, ts, "serve.timeouts"); m != 1 {
+		t.Errorf("serve.timeouts = %d, want 1", m)
+	}
+}
+
+// Draining: healthz flips to 503 and new runs are refused, while
+// /metrics stays reachable for the final scrape.
+func TestDrainRefusesNewWork(t *testing.T) {
+	s := newServer(testConfig(echoRun))
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz before drain: %v %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+	s.beginDrain()
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain: %v %v, want 503", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+	if code, _, _ := postRun(t, ts, "/run/table1?quick=1"); code != http.StatusServiceUnavailable {
+		t.Errorf("run during drain: status %d, want 503", code)
+	}
+	if resp, err := http.Get(ts.URL + "/metrics"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Errorf("metrics during drain: %v %v, want 200", resp.StatusCode, err)
+	}
+}
+
+// FIFO cache bound: the oldest entry is evicted once the cache is
+// full, and /result reports it gone.
+func TestCacheEvictionIsFIFO(t *testing.T) {
+	cfg := testConfig(echoRun)
+	cfg.cacheSize = 2
+	ts := httptest.NewServer(newServer(cfg).handler())
+	defer ts.Close()
+	_, first, _ := postRun(t, ts, "/run/table1?quick=1&seed=1")
+	postRun(t, ts, "/run/table1?quick=1&seed=2")
+	postRun(t, ts, "/run/table1?quick=1&seed=3") // evicts seed=1
+	resp, err := http.Get(ts.URL + "/result/" + first.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("evicted key still served: %d", resp.StatusCode)
+	}
+	if code, res, _ := postRun(t, ts, "/run/table1?quick=1&seed=1"); code != http.StatusOK || res.Cached {
+		t.Errorf("evicted entry: code %d cached %v, want a fresh 200 run", code, res.Cached)
+	}
+}
+
+// One real-registry integration run: the default runner executes
+// table1 in quick mode under a generous timeout and returns a rendered
+// table, proving the HTTP layer and the simulation substrate actually
+// meet.
+func TestRealRegistryRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real experiment run")
+	}
+	cfg := serverConfig{jobs: 2, concurrency: 1, queue: 1, timeout: 2 * time.Minute, cacheSize: 4}
+	ts := httptest.NewServer(newServer(cfg).handler())
+	defer ts.Close()
+	code, res, body := postRun(t, ts, "/run/table1?quick=1")
+	if code != http.StatusOK {
+		t.Fatalf("status %d (%s)", code, body)
+	}
+	if !strings.Contains(res.Output, "Table 1") && len(res.Output) == 0 {
+		t.Errorf("unexpected output: %q", res.Output)
+	}
+	// Determinism across transports: a second (cached) fetch is
+	// byte-identical to the first execution.
+	_, again, _ := postRun(t, ts, "/run/table1?quick=1")
+	if !again.Cached || again.Output != res.Output {
+		t.Errorf("cached replay diverged (cached=%v)", again.Cached)
+	}
+}

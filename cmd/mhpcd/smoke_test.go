@@ -1,0 +1,173 @@
+package main
+
+// End-to-end smoke test of the real binary: build mhpcd, exec it,
+// exercise the cache and admission paths over real HTTP, then SIGTERM
+// it mid-flight and require a clean exit. Gated behind
+// MHPC_SERVE_SMOKE=1 because it compiles and forks a server — the
+// Makefile serve-smoke target (wired into `make check`) sets the gate.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// freePort asks the kernel for an unused TCP port.
+func freePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port
+}
+
+func TestServeSmoke(t *testing.T) {
+	if os.Getenv("MHPC_SERVE_SMOKE") != "1" {
+		t.Skip("set MHPC_SERVE_SMOKE=1 to run the mhpcd end-to-end smoke test")
+	}
+
+	bin := filepath.Join(t.TempDir(), "mhpcd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building mhpcd: %v\n%s", err, out)
+	}
+
+	port := freePort(t)
+	base := fmt.Sprintf("http://127.0.0.1:%d", port)
+	// concurrency 1 + queue 0 makes the 429 path exercisable with a
+	// single slow occupant; a short drain keeps the SIGTERM phase fast.
+	cmd := exec.Command(bin,
+		"-addr", fmt.Sprintf("127.0.0.1:%d", port),
+		"-j", "2", "-concurrency", "1", "-queue", "0",
+		"-timeout", "5m", "-drain", "1s")
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	defer cmd.Process.Kill()
+
+	// Readiness: poll /healthz until the listener is up.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("mhpcd never became healthy")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Uncached run, then a cached replay of the same request.
+	first := postJSON(t, base+"/run/table1?quick=1&seed=1")
+	if first.Cached {
+		t.Error("first run reported cached")
+	}
+	if first.Output == "" {
+		t.Error("first run returned empty output")
+	}
+	again := postJSON(t, base+"/run/table1?quick=1&seed=1")
+	if !again.Cached || again.Output != first.Output {
+		t.Errorf("replay: cached=%v, identical=%v; want a byte-identical cache hit",
+			again.Cached, again.Output == first.Output)
+	}
+
+	// Overflow: occupy the single slot with a slow full-fidelity run,
+	// then require an immediate 429 for a second distinct request.
+	slowDone := make(chan struct{})
+	go func() {
+		defer close(slowDone)
+		resp, err := http.Post(base+"/run/fig6?seed=9", "application/json", nil)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	waitInflight(t, base, deadline)
+	resp, err := http.Post(base+"/run/table3?quick=1", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow status %d (%s), want 429", resp.StatusCode, body)
+	}
+
+	// SIGTERM mid-flight: the server must flip healthz to 503, abort
+	// the straggler after the 1s drain, and exit 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("mhpcd exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("mhpcd did not exit within 15s of SIGTERM")
+	}
+	select {
+	case <-slowDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request never completed after shutdown")
+	}
+}
+
+// postJSON POSTs and decodes the 200 envelope, failing the test
+// otherwise.
+func postJSON(t *testing.T, url string) runResult {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: %d (%s)", url, resp.StatusCode, raw)
+	}
+	var res runResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("bad envelope %q: %v", raw, err)
+	}
+	return res
+}
+
+// waitInflight polls /metrics until serve.inflight reaches 1, so the
+// overflow probe cannot race the slow occupant's admission.
+func waitInflight(t *testing.T, base string, deadline time.Time) {
+	t.Helper()
+	for {
+		resp, err := http.Get(base + "/metrics")
+		if err == nil {
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			for _, line := range strings.Split(string(raw), "\n") {
+				if line == "serve.inflight 1" {
+					return
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slow run never reached inflight=1")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

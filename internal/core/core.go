@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"io"
 
 	"mobilehpc/internal/apps/hpl"
@@ -107,4 +108,12 @@ func RunAllExperiments(w io.Writer, quick bool) error {
 // merge in registry order and each owns its engines and RNGs.
 func RunAllExperimentsParallel(w io.Writer, quick bool, jobs int) error {
 	return harness.RunAll(w, harness.Options{Quick: quick, Jobs: jobs})
+}
+
+// RunAllExperimentsContext is RunAllExperimentsParallel bounded by
+// ctx: cancelling it aborts in-flight simulations at their next event,
+// renders nothing, and returns the context's error; a run that
+// completes first is byte-identical to an unbounded one.
+func RunAllExperimentsContext(ctx context.Context, w io.Writer, quick bool, jobs int) error {
+	return harness.RunAllContext(ctx, w, harness.Options{Quick: quick, Jobs: jobs})
 }

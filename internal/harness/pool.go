@@ -14,23 +14,61 @@ package harness
 //
 // Jobs <= 1 takes the exact legacy path: a plain loop on the calling
 // goroutine with no channels, no goroutines, no pool.
+//
+// Cancellation and panics share one containment design. The run's
+// abort flag (bound to the submitting goroutine by RunAllContext /
+// TablesContext, see internal/sim.BindAbort) is re-bound onto every
+// worker goroutine, so engines built anywhere inside a task poll it.
+// A worker never lets a panic escape its goroutine: a cancelled
+// engine's *sim.AbortError is converted back into the abort cause,
+// and any other panic becomes a *TaskPanicError (tagged with the task
+// label, its TaskSeed, and the stack) that also raises the abort flag
+// so sibling tasks stop. The first failure by task index — not by
+// completion time — is what surfaces, so the reported error is the
+// same at every -j.
 
 import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"runtime"
 	"strings"
 	"sync"
 
 	"mobilehpc/internal/obs"
+	"mobilehpc/internal/sim"
 )
+
+// TaskPanicError is a recovered panic from one pool task, tagged with
+// enough context to reproduce it: the task's index and label, the
+// deterministic TaskSeed derived from that label, the panic value,
+// and the stack at the panic site. The pool converts worker panics
+// into this error instead of crashing the process from a worker
+// goroutine (or deadlocking a caller that recovers).
+type TaskPanicError struct {
+	Index int    // task index within its parmap call
+	Label string // task label (experiment id, sub-run name); "" untagged
+	Seed  uint64 // TaskSeed(Label) when labelled, 0 otherwise
+	Value any    // the recovered panic value
+	Stack []byte // stack captured at recovery, trimmed to the task goroutine
+}
+
+// Error summarises the panic; the stack is available on the struct.
+func (e *TaskPanicError) Error() string {
+	label := e.Label
+	if label == "" {
+		label = fmt.Sprintf("#%d", e.Index)
+	}
+	return fmt.Sprintf("harness: task %s (seed %d) panicked: %v", label, e.Seed, e.Value)
+}
 
 // parmap runs task(i) for i in [0, n) on up to `jobs` worker
 // goroutines and returns the results indexed by i. With jobs <= 1 (or
 // a single task) it degenerates to a serial loop on the calling
 // goroutine — the legacy execution path, bit-for-bit. A panicking task
 // does not crash the process from a worker goroutine: the first panic
-// is captured and re-raised on the caller once all workers drain.
+// (by task index) is captured and re-raised on the caller once all
+// workers drain.
 func parmap[T any](jobs, n int, task func(i int) T) []T {
 	return parmapObs("", nil, jobs, n, task)
 }
@@ -44,13 +82,44 @@ func parmap[T any](jobs, n int, task func(i int) T) []T {
 // the pool.tasks counter track slot occupancy. With no collector (or
 // no namer) the telemetry path vanishes behind one atomic load and
 // execution is exactly parmap's.
+//
+// Errors propagate by panic here: this is the nested form used by the
+// sub-run fan-outs inside experiments, whose enclosing task is itself
+// guarded by parmapErr. The top-level entry points use parmapErr
+// directly and return the error instead.
 func parmapObs[T any](cat string, name func(i int) string, jobs, n int, task func(i int) T) []T {
+	out, err := parmapErr(cat, name, jobs, n, task)
+	switch e := err.(type) {
+	case nil:
+		return out
+	case *TaskPanicError:
+		panic(e) // re-raised, caught (still tagged) one level up
+	case *sim.AbortError:
+		panic(e) // keep unwinding to the run boundary
+	default:
+		// A bare abort cause (context.Canceled, a deadline): re-wrap so
+		// the enclosing pool recognises the unwind as a cancellation,
+		// not a task bug.
+		panic(&sim.AbortError{Err: e})
+	}
+}
+
+// parmapErr is the guarded core of the pool: it runs the tasks like
+// parmapObs and returns the first failure (by task index) as an error
+// instead of panicking. On cancellation — the bound abort flag raised
+// by a context watcher or by a failing sibling — pending tasks are
+// skipped, in-flight tasks unwind via their engines' abort poll, and
+// the abort cause is returned. Results are only meaningful when the
+// error is nil.
+func parmapErr[T any](cat string, name func(i int) string, jobs, n int, task func(i int) T) ([]T, error) {
+	flag := sim.BoundAbort()
 	run := func(worker, i int) T { return task(i) }
 	if ob := obs.Active(); ob != nil && name != nil {
 		parent := ob.CurrentSpan()
 		queued, active := ob.Gauge("pool.queued"), ob.Gauge("pool.active")
 		tasks := ob.Counter("pool.tasks")
 		queued.Add(int64(n))
+		inner := run
 		run = func(worker, i int) T {
 			queued.Add(-1)
 			active.Add(1)
@@ -58,50 +127,117 @@ func parmapObs[T any](cat string, name func(i int) string, jobs, n int, task fun
 			tasks.Add(1)
 			sp := ob.StartWorkerSpan(name(i), cat, worker, parent)
 			defer sp.End()
-			return task(i)
+			return inner(worker, i)
 		}
 	}
 	out := make([]T, n)
+	errs := make([]error, n)
+	// exec runs one task with the panic guard: an abort unwind is
+	// recorded as the abort cause, any other panic becomes a tagged
+	// *TaskPanicError that also cancels the remaining tasks.
+	exec := func(worker, i int) {
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			switch p := r.(type) {
+			case *sim.AbortError:
+				errs[i] = p
+			case *TaskPanicError:
+				// Re-raised by a nested parmapObs: already tagged.
+				errs[i] = p
+				flag.Abort(p)
+			default:
+				tpe := &TaskPanicError{Index: i, Value: r, Stack: taskStack()}
+				if name != nil {
+					tpe.Label = name(i)
+					tpe.Seed = taskSeedQuiet(tpe.Label)
+				}
+				errs[i] = tpe
+				flag.Abort(tpe)
+			}
+		}()
+		out[i] = run(worker, i)
+	}
 	if jobs > n {
 		jobs = n
 	}
 	if jobs <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
-			out[i] = run(0, i)
+			if flag.Aborted() {
+				break
+			}
+			exec(0, i)
+			if errs[i] != nil {
+				break
+			}
 		}
-		return out
+		return out, firstError(errs, flag)
 	}
-	var (
-		wg         sync.WaitGroup
-		panicOnce  sync.Once
-		panicValue any
-	)
+	var wg sync.WaitGroup
 	idx := make(chan int)
 	for w := 0; w < jobs; w++ {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
+			if flag != nil {
+				// Inherit the run's abort flag so engines (and nested
+				// pools) created by this worker's tasks are cancellable.
+				defer sim.BindAbort(flag)()
+			}
 			for i := range idx {
-				func() {
-					defer func() {
-						if r := recover(); r != nil {
-							panicOnce.Do(func() { panicValue = r })
-						}
-					}()
-					out[i] = run(worker, i)
-				}()
+				exec(worker, i)
 			}
 		}(w)
 	}
 	for i := 0; i < n; i++ {
+		if flag.Aborted() {
+			break
+		}
 		idx <- i
 	}
 	close(idx)
 	wg.Wait()
-	if panicValue != nil {
-		panic(fmt.Sprintf("harness: parallel task panicked: %v", panicValue))
+	return out, firstError(errs, flag)
+}
+
+// firstError picks the error parmapErr surfaces: the lowest-index
+// task panic if any task panicked (deterministic at every -j for
+// deterministic tasks), otherwise the abort cause when the run was
+// cancelled, otherwise nil. Abort-unwind entries alone do not count
+// as the root failure — they are the echo of the cancellation.
+func firstError(errs []error, flag *sim.AbortFlag) error {
+	var firstAbort error
+	for _, err := range errs {
+		switch e := err.(type) {
+		case nil:
+		case *TaskPanicError:
+			return e
+		default:
+			if firstAbort == nil {
+				firstAbort = err
+			}
+		}
 	}
-	return out
+	if flag.Aborted() {
+		err := flag.Err()
+		if tpe, ok := err.(*TaskPanicError); ok {
+			// A nested pool raised the flag with its task's panic but
+			// the enclosing task's own error slot was lost (e.g. the
+			// caller goroutine stopped issuing work): still surface it.
+			return tpe
+		}
+		return err
+	}
+	return firstAbort
+}
+
+// taskStack captures the panicking goroutine's stack for a
+// TaskPanicError.
+func taskStack() []byte {
+	buf := make([]byte, 64<<10)
+	return buf[:runtime.Stack(buf, false)]
 }
 
 // TaskSeed derives a stable 64-bit seed from a path of labels
@@ -110,12 +246,7 @@ func parmapObs[T any](cat string, name func(i int) string, jobs, n int, task fun
 // order, or wall clock — which is what makes sampled experiments
 // reproducible and independent of -j.
 func TaskSeed(parts ...string) uint64 {
-	h := fnv.New64a()
-	for _, p := range parts {
-		h.Write([]byte(p))
-		h.Write([]byte{0}) // unambiguous separator: ("a","b") != ("ab")
-	}
-	seed := h.Sum64()
+	seed := taskSeedQuiet(parts...)
 	// Telemetry only: the run manifest lists every (label path, seed)
 	// derivation so sampled experiments can be re-derived exactly. The
 	// seed value itself never depends on the collector, and the label
@@ -124,6 +255,18 @@ func TaskSeed(parts ...string) uint64 {
 		ob.RecordSeed(strings.Join(parts, "/"), seed)
 	}
 	return seed
+}
+
+// taskSeedQuiet is TaskSeed without the manifest recording — used when
+// tagging a TaskPanicError, where noting a seed that never drove a
+// completed task would pollute the run manifest.
+func taskSeedQuiet(parts ...string) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0}) // unambiguous separator: ("a","b") != ("ab")
+	}
+	return h.Sum64()
 }
 
 // TaskRNG returns a private rand.Rand for one task, seeded with

@@ -7,10 +7,14 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
+
+	"mobilehpc/internal/sim"
 )
 
 // Table is a rendered experiment result.
@@ -184,13 +188,23 @@ func ByID(id string) (Experiment, error) {
 // registry (paper) order. With opt.Jobs > 1 the experiments execute on
 // a bounded worker pool but the rendered stream is still byte-identical
 // to a serial run: tables are merged in registry order, not completion
-// order.
+// order. Equivalent to RunAllContext with a background context.
 func RunAll(w io.Writer, opt Options) error {
-	exps := Experiments()
-	tabs := parmapObs("experiment", func(i int) string { return exps[i].ID },
-		opt.Jobs, len(exps), func(i int) *Table {
-			return exps[i].Run(opt)
-		})
+	return RunAllContext(context.Background(), w, opt)
+}
+
+// RunAllContext is RunAll bounded by ctx: cancelling the context (or
+// exceeding its deadline) aborts the in-flight experiments at their
+// next simulation event or Monte-Carlo chunk, skips the rest, tears
+// down all task goroutines, and returns ctx's error. Nothing is
+// rendered to w on a cancelled run — output is all-or-nothing, so an
+// uncancelled run's stream stays byte-identical to RunAll's at every
+// Jobs value.
+func RunAllContext(ctx context.Context, w io.Writer, opt Options) error {
+	tabs, err := runExperiments(ctx, Experiments(), opt)
+	if err != nil {
+		return err
+	}
 	for _, tab := range tabs {
 		if err := tab.Render(w); err != nil {
 			return err
@@ -201,8 +215,17 @@ func RunAll(w io.Writer, opt Options) error {
 
 // Tables executes the named experiments (in the given order, which is
 // preserved in the result) on the Options worker pool. It fails before
-// running anything if any id is unknown.
+// running anything if any id is unknown. Equivalent to TablesContext
+// with a background context.
 func Tables(ids []string, opt Options) ([]*Table, error) {
+	return TablesContext(context.Background(), ids, opt)
+}
+
+// TablesContext is Tables bounded by ctx, with the same cancellation
+// contract as RunAllContext: on cancellation no tables are returned
+// and the context's error surfaces; a run that completed before the
+// cancel is unaffected.
+func TablesContext(ctx context.Context, ids []string, opt Options) ([]*Table, error) {
 	exps := make([]Experiment, len(ids))
 	for i, id := range ids {
 		e, err := ByID(id)
@@ -211,8 +234,35 @@ func Tables(ids []string, opt Options) ([]*Table, error) {
 		}
 		exps[i] = e
 	}
-	return parmapObs("experiment", func(i int) string { return exps[i].ID },
+	return runExperiments(ctx, exps, opt)
+}
+
+// runExperiments is the shared guarded fan-out under RunAllContext and
+// TablesContext: it ties a fresh abort flag to ctx, binds it to the
+// calling goroutine so the pool workers (and every engine built inside
+// the tasks) inherit it, and converts the pool's failure modes into
+// errors — ctx.Err() for cancellation, a *TaskPanicError for a
+// panicking experiment.
+func runExperiments(ctx context.Context, exps []Experiment, opt Options) ([]*Table, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	flag := sim.NewAbortFlag()
+	stop := flag.WatchContext(ctx)
+	defer stop()
+	defer sim.BindAbort(flag)()
+	tabs, err := parmapErr("experiment", func(i int) string { return exps[i].ID },
 		opt.Jobs, len(exps), func(i int) *Table {
 			return exps[i].Run(opt)
-		}), nil
+		})
+	if err != nil {
+		// Surface cancellation as the bare cause (context.Canceled /
+		// DeadlineExceeded) rather than the sim-level wrapper.
+		var ab *sim.AbortError
+		if errors.As(err, &ab) && ab.Err != nil {
+			return nil, ab.Err
+		}
+		return nil, err
+	}
+	return tabs, nil
 }

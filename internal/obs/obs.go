@@ -367,6 +367,41 @@ func (s *Span) End() {
 	}
 }
 
+// Counters returns a point-in-time copy of every counter's current
+// value. Safe during an active run — the mhpcd /metrics endpoint
+// serves this while experiments execute. Nil-safe (returns nil).
+func (c *Collector) Counters() map[string]int64 {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.counters))
+	for k, v := range c.counters {
+		out[k] = v.Value()
+	}
+	return out
+}
+
+// Gauges returns a point-in-time copy of every gauge: the live value
+// under the gauge's own name, the high-watermark under "<name>.max".
+// Live values make the snapshot pollable (the mhpcd smoke gate waits
+// on serve.inflight reaching 1); watermarks preserve the peak after
+// the burst has passed. Nil-safe (returns nil).
+func (c *Collector) Gauges() map[string]int64 {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, 2*len(c.gauges))
+	for k, v := range c.gauges {
+		out[k] = v.Current()
+		out[k+".max"] = v.Max()
+	}
+	return out
+}
+
 // snapshot returns copies of the collector state for the exporters.
 func (c *Collector) snapshot() (spans []*Span, counters map[string]int64, gauges map[string]int64, seeds map[string]uint64, meta map[string]string, wall time.Duration) {
 	wall = time.Since(c.start)

@@ -250,3 +250,34 @@ func TestActiveGlobal(t *testing.T) {
 		t.Error("SetActive(nil) did not disable telemetry")
 	}
 }
+
+// Counters and Gauges must expose live snapshots (the mhpcd /metrics
+// source) and be nil-safe.
+func TestCounterGaugeSnapshots(t *testing.T) {
+	var nilC *Collector
+	if nilC.Counters() != nil || nilC.Gauges() != nil {
+		t.Fatal("nil collector snapshots not nil")
+	}
+	c := New()
+	c.Counter("serve.runs").Add(3)
+	c.Counter("serve.runs").Add(2)
+	g := c.Gauge("serve.inflight")
+	g.Add(4)
+	g.Add(-3)
+	cs, gs := c.Counters(), c.Gauges()
+	if cs["serve.runs"] != 5 {
+		t.Fatalf("counter snapshot %v", cs)
+	}
+	if gs["serve.inflight"] != 1 {
+		t.Fatalf("gauge live snapshot %v, want current value 1", gs)
+	}
+	if gs["serve.inflight.max"] != 4 {
+		t.Fatalf("gauge watermark snapshot %v, want peak 4", gs)
+	}
+	// Snapshots are copies: mutating the source later must not change
+	// an already-taken snapshot.
+	c.Counter("serve.runs").Add(10)
+	if cs["serve.runs"] != 5 {
+		t.Fatal("snapshot aliases the live counter map")
+	}
+}

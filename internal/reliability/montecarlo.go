@@ -6,6 +6,7 @@ import (
 
 	"mobilehpc/internal/linalg"
 	"mobilehpc/internal/obs"
+	"mobilehpc/internal/sim"
 )
 
 // Monte-Carlo cross-validation of the analytic reliability model: the
@@ -116,7 +117,15 @@ func chunkSeed(seed uint64, i int) uint64 {
 // work a third level of the run → experiment → sub-run → chunk
 // hierarchy. The chunk arithmetic and reduction never depend on the
 // collector, so results are identical with telemetry on or off.
+//
+// Cancellation: the loop polls the abort flag bound to the calling
+// goroutine (see sim.BindAbort — the harness pool binds the run's
+// flag onto its workers) between chunks, stops issuing work when it
+// is raised, drains its workers, and unwinds with *sim.AbortError —
+// the same panic-based abort path the engines use, recovered at the
+// harness pool boundary. Partial sums are never returned.
 func reduceChunks(n, jobs int, count func(chunk, trials int) int) int {
+	flag := sim.BoundAbort()
 	chunks := (n + MCChunk - 1) / MCChunk
 	trialsIn := func(c int) int {
 		t := MCChunk
@@ -145,6 +154,7 @@ func reduceChunks(n, jobs int, count func(chunk, trials int) int) int {
 	if jobs <= 1 || chunks <= 1 {
 		total := 0
 		for c := 0; c < chunks; c++ {
+			flag.Check()
 			total += run(0, c)
 		}
 		return total
@@ -162,10 +172,14 @@ func reduceChunks(n, jobs int, count func(chunk, trials int) int) int {
 		}(w)
 	}
 	for c := 0; c < chunks; c++ {
+		if flag.Aborted() {
+			break
+		}
 		idx <- c
 	}
 	close(idx)
 	wg.Wait()
+	flag.Check() // after the drain, so no worker goroutine outlives the panic
 	total := 0
 	for _, s := range sums {
 		total += s

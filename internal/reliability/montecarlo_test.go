@@ -1,8 +1,13 @@
 package reliability
 
 import (
+	"errors"
 	"math"
+	"runtime"
 	"testing"
+	"time"
+
+	"mobilehpc/internal/sim"
 )
 
 func TestMonteCarloMatchesAnalyticDailyProb(t *testing.T) {
@@ -149,5 +154,56 @@ func TestMonteCarloPanics(t *testing.T) {
 			}()
 			fn()
 		}()
+	}
+}
+
+// The chunked Monte-Carlo reduction must honour the goroutine-bound
+// abort flag: a raised flag unwinds the loop with *sim.AbortError
+// (never a partial sum), both on the serial path and after draining
+// the parallel workers, leaving no goroutines behind.
+func TestMonteCarloAbort(t *testing.T) {
+	for _, jobs := range []int{1, 4} {
+		base := runtime.NumGoroutine()
+		cause := errors.New("campaign cancelled")
+		flag := sim.NewAbortFlag()
+		unbind := sim.BindAbort(flag)
+		var ab *sim.AbortError
+		func() {
+			defer func() {
+				r := recover()
+				var ok bool
+				if ab, ok = r.(*sim.AbortError); !ok {
+					t.Fatalf("jobs=%d: panic %v (%T), want *sim.AbortError", jobs, r, r)
+				}
+			}()
+			// Raise the flag from inside the first chunk: every later
+			// chunk boundary must refuse to proceed.
+			n := 0
+			reduceChunks(20*MCChunk, jobs, func(chunk, trials int) int {
+				n++
+				if n == 1 {
+					flag.Abort(cause)
+				}
+				return trials
+			})
+		}()
+		unbind()
+		if !errors.Is(ab, cause) {
+			t.Fatalf("jobs=%d: abort error %v does not wrap the cause", jobs, ab)
+		}
+		// Deterministic stream results must be unaffected when no flag
+		// is bound (the normal path).
+		got := SimulateJobSurvivalParallel(100, 24, 2000, 7, jobs)
+		want := SimulateJobSurvivalParallel(100, 24, 2000, 7, 1)
+		if got != want {
+			t.Fatalf("jobs=%d: survival %v != serial %v", jobs, got, want)
+		}
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) && runtime.NumGoroutine() > base {
+			time.Sleep(5 * time.Millisecond)
+		}
+		if g := runtime.NumGoroutine(); g > base {
+			t.Fatalf("jobs=%d: goroutines leaked: %d > %d", jobs, g, base)
+		}
 	}
 }

@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// recoverAbort runs fn and returns the *AbortError it panicked with
+// (nil if it returned normally); any other panic value fails the test.
+func recoverAbort(t *testing.T, fn func()) (ab *AbortError) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		var ok bool
+		if ab, ok = r.(*AbortError); !ok {
+			t.Fatalf("panic value %T %v, want *AbortError", r, r)
+		}
+	}()
+	fn()
+	return nil
+}
+
+// An aborted Run must panic *AbortError carrying the cause, terminate
+// every parked process goroutine, and leave LiveProcs at zero.
+func TestEngineAbortTerminatesProcs(t *testing.T) {
+	base := runtime.NumGoroutine()
+	cause := errors.New("stop the presses")
+	flag := NewAbortFlag()
+	e := NewEngine()
+	e.SetAbortFlag(flag)
+	cleaned := 0
+	for i := 0; i < 8; i++ {
+		e.Go("worker", func(p *Proc) {
+			defer func() { cleaned++ }()
+			for {
+				p.Wait(1)
+			}
+		})
+	}
+	// A process that never gets a first resume: scheduled far in the
+	// future relative to where the abort lands.
+	e.Go("latecomer", func(p *Proc) { p.Wait(1) })
+	fired := 0
+	e.After(0.5, func() {
+		fired++
+		flag.Abort(cause)
+	})
+	ab := recoverAbort(t, func() { e.RunAll() })
+	if ab == nil {
+		t.Fatal("aborted Run returned normally")
+	}
+	if !errors.Is(ab, cause) {
+		t.Fatalf("abort error %v does not wrap the cause", ab)
+	}
+	if fired != 1 {
+		t.Fatalf("abort trigger fired %d times", fired)
+	}
+	if cleaned != 8 {
+		t.Fatalf("only %d/8 process defers ran during teardown", cleaned)
+	}
+	if e.LiveProcs() != 0 {
+		t.Fatalf("%d live procs after abort", e.LiveProcs())
+	}
+	waitForGoroutines(t, base)
+}
+
+// A flag raised only after the run completed must not disturb it:
+// Run's result and the simulation state are those of an uncancelled
+// run (the "completed-then-cancelled" byte-identity contract).
+func TestAbortAfterCompletionIsNoOp(t *testing.T) {
+	flag := NewAbortFlag()
+	e := NewEngine()
+	e.SetAbortFlag(flag)
+	n := 0
+	e.Go("p", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Wait(1)
+			n++
+		}
+	})
+	end := e.RunAll()
+	flag.Abort(context.Canceled)
+	if end != 10 || n != 10 || e.LiveProcs() != 0 {
+		t.Fatalf("end=%v n=%d live=%d after completed run", end, n, e.LiveProcs())
+	}
+}
+
+// Abort raised before Run starts must abort on the first dispatch
+// step, including tearing down processes that never ran.
+func TestAbortBeforeRun(t *testing.T) {
+	base := runtime.NumGoroutine()
+	flag := NewAbortFlag()
+	flag.Abort(nil)
+	e := NewEngine()
+	e.SetAbortFlag(flag)
+	ran := false
+	e.Go("p", func(p *Proc) { ran = true })
+	ab := recoverAbort(t, func() { e.RunAll() })
+	if ab == nil || !errors.Is(ab, ErrAborted) {
+		t.Fatalf("abort error = %v, want ErrAborted", ab)
+	}
+	if ran {
+		t.Fatal("process body ran under a pre-raised abort flag")
+	}
+	if e.LiveProcs() != 0 {
+		t.Fatalf("%d live procs after abort", e.LiveProcs())
+	}
+	waitForGoroutines(t, base)
+}
+
+// Engines snapshot the goroutine-bound flag at creation.
+func TestBindAbortAttachesNewEngines(t *testing.T) {
+	flag := NewAbortFlag()
+	unbind := BindAbort(flag)
+	e := NewEngine()
+	unbind()
+	after := NewEngine()
+	if e.abort != flag {
+		t.Fatal("engine created under BindAbort is not attached to the flag")
+	}
+	if after.abort != nil {
+		t.Fatal("engine created after unbind still attached")
+	}
+	if BoundAbort() != nil {
+		t.Fatal("binding survived unbind")
+	}
+}
+
+// AbortFlag semantics: first cause wins, Check panics only when
+// raised, nil flags are inert, WatchContext relays ctx.Err().
+func TestAbortFlagSemantics(t *testing.T) {
+	var nilFlag *AbortFlag
+	if nilFlag.Aborted() || nilFlag.Err() != nil {
+		t.Fatal("nil flag is not inert")
+	}
+	nilFlag.Check() // must not panic
+	nilFlag.Abort(errors.New("x"))
+
+	f := NewAbortFlag()
+	f.Check()
+	first := errors.New("first")
+	f.Abort(first)
+	f.Abort(errors.New("second"))
+	if !f.Aborted() || f.Err() != first {
+		t.Fatalf("flag err = %v, want first cause", f.Err())
+	}
+	ab := recoverAbort(t, f.Check)
+	if ab == nil || ab.Err != first {
+		t.Fatalf("Check panicked with %v", ab)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	w := NewAbortFlag()
+	stop := w.WatchContext(ctx)
+	defer stop()
+	cancel()
+	deadline := time.Now().Add(2 * time.Second)
+	for !w.Aborted() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !errors.Is(w.Err(), context.Canceled) {
+		t.Fatalf("watched flag err = %v, want context.Canceled", w.Err())
+	}
+}
+
+// waitForGoroutines polls until the goroutine count returns to (or
+// below) base, failing the test if it does not settle within two
+// seconds — the goleak-style check used by the cancellation tests.
+func waitForGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines leaked: %d > base %d\n%s",
+		runtime.NumGoroutine(), base, buf[:n])
+}

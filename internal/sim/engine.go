@@ -123,8 +123,10 @@ type Engine struct {
 	heap    []*Event // 4-ary min-heap of the remaining events
 	free    *Event   // free list of recycled pooled events
 	procs   int      // live processes, for leak detection
+	live    []*Proc  // the live processes themselves, for abort teardown
 	stopped bool
-	obs     Observer // nil = no telemetry (the default)
+	obs     Observer   // nil = no telemetry (the default)
+	abort   *AbortFlag // nil = not cancellable (the default)
 
 	// Misuse detection for the one-engine-per-goroutine invariant:
 	// while running is set, owner holds the goroutine id of the single
@@ -183,12 +185,16 @@ func (e *Engine) checkOwnerSampled() {
 }
 
 // NewEngine returns an engine with the clock at zero and an empty
-// queue, observed by the current default observer (normally nil).
+// queue, observed by the current default observer (normally nil) and
+// attached to the abort flag bound to the creating goroutine, if any
+// (see BindAbort — the harness binds its run flag onto every pool
+// worker, so engines built anywhere inside a task are cancellable).
 func NewEngine() *Engine {
 	e := &Engine{}
 	if box, ok := defaultObserver.Load().(observerBox); ok {
 		e.obs = box.o
 	}
+	e.abort = BoundAbort()
 	return e
 }
 
@@ -196,6 +202,11 @@ func NewEngine() *Engine {
 // up the package default at creation; use this to instrument one
 // engine specifically.
 func (e *Engine) SetObserver(o Observer) { e.obs = o }
+
+// SetAbortFlag attaches f to this engine (nil detaches). Engines pick
+// up the goroutine-bound flag at creation (see BindAbort); use this to
+// make one specific engine cancellable.
+func (e *Engine) SetAbortFlag(f *AbortFlag) { e.abort = f }
 
 // Now returns the current virtual time in seconds.
 func (e *Engine) Now() float64 { return e.now }
@@ -370,6 +381,14 @@ func (e *Engine) Run(limit float64) float64 {
 	defer e.running.Store(false)
 	e.stopped = false
 	for !e.stopped {
+		// Cancellation poll: one nil check per event when no flag is
+		// attached, one atomic load when one is. abortRun never
+		// returns — it tears down parked processes and panics with
+		// *AbortError, which the experiment harness recovers at the
+		// worker-pool boundary.
+		if e.abort != nil && e.abort.Aborted() {
+			e.abortRun()
+		}
 		// The minimum is head or the heap root; ties are impossible
 		// (seq is unique).
 		ev := e.head
@@ -406,6 +425,23 @@ func (e *Engine) Run(limit float64) float64 {
 		fn()
 	}
 	return e.now
+}
+
+// abortRun is the cancelled-run exit path, entered from the dispatch
+// loop (engine context, no process running). It terminates every live
+// process so their goroutines unwind and exit — the "zero leaked
+// goroutines on cancel" contract — then panics with *AbortError
+// carrying the abort cause. The engine is not reusable afterwards;
+// callers that cancel a run discard the whole simulation.
+//
+// Teardown order is newest-first over the live list, but it is not
+// observable: every aborted run produces the same *AbortError and no
+// output, so determinism across -j is unaffected.
+func (e *Engine) abortRun() {
+	for len(e.live) > 0 {
+		e.terminate(e.live[len(e.live)-1])
+	}
+	panic(&AbortError{Err: e.abort.Err()})
 }
 
 // dropMin removes the current minimum from wherever it lives.

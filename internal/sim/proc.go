@@ -7,18 +7,26 @@ import "fmt"
 // engine; while it runs, the engine dispatch loop is parked, so exactly
 // one goroutine is ever active and the simulation stays deterministic.
 type Proc struct {
-	eng    *Engine
-	name   string
-	gid    int64         // cached goroutine id, set once at first resume
-	resume chan struct{} // engine -> proc: run
-	parked chan struct{} // proc -> engine: parked or done
-	dead   bool
-	panicV any
+	eng      *Engine
+	name     string
+	gid      int64         // cached goroutine id, set once at first resume
+	resume   chan struct{} // engine -> proc: run
+	parked   chan struct{} // proc -> engine: parked or done
+	dead     bool
+	aborting bool // set by Engine.terminate: next resume must unwind, not run
+	liveIdx  int  // position in eng.live while alive
+	panicV   any
 	// wake resumes this process from engine context. Allocated once at
 	// spawn so Wait/Queue/Resource wakeups schedule it with no per-call
 	// closure.
 	wake func()
 }
+
+// procAbort is the internal panic value that unwinds a process
+// terminated by an engine abort. It is deliberately not *AbortError:
+// process code (or its deferred cleanup) recovering abort errors at a
+// task boundary must never swallow the teardown of a sibling process.
+type procAbort struct{}
 
 // Name returns the name given at spawn time.
 func (p *Proc) Name() string { return p.name }
@@ -40,6 +48,8 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 	}
 	p.wake = func() { e.switchTo(p) }
 	e.procs++
+	p.liveIdx = len(e.live)
+	e.live = append(e.live, p)
 	go func() {
 		<-p.resume
 		// Control handed to this process for the first time: learn our
@@ -49,11 +59,16 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 		defer func() {
 			p.dead = true
 			e.procs--
+			e.dropLive(p)
 			if r := recover(); r != nil {
 				p.panicV = r
 			}
 			p.parked <- struct{}{}
 		}()
+		if p.aborting {
+			// Terminated before ever running: unwind without calling fn.
+			panic(procAbort{})
+		}
 		fn(p)
 	}()
 	e.Schedule(0, p.wake)
@@ -74,11 +89,45 @@ func (e *Engine) switchTo(p *Proc) {
 	}
 }
 
-// park suspends the calling process until the engine resumes it.
+// park suspends the calling process until the engine resumes it. A
+// resume issued by Engine.terminate does not hand control back to the
+// process body: it panics procAbort so the goroutine unwinds (running
+// its defers) and exits — the teardown path of a cancelled run.
 func (p *Proc) park() {
 	p.parked <- struct{}{}
 	<-p.resume
 	p.eng.owner.Store(p.gid) // control handed back to this process
+	if p.aborting {
+		panic(procAbort{})
+	}
+}
+
+// dropLive removes p from the engine's live list (O(1) swap-remove).
+// Called from the process's own death defer, which runs while the
+// engine goroutine is parked waiting on p.parked — so the list is
+// never mutated concurrently.
+func (e *Engine) dropLive(p *Proc) {
+	last := len(e.live) - 1
+	moved := e.live[last]
+	e.live[p.liveIdx] = moved
+	moved.liveIdx = p.liveIdx
+	e.live[last] = nil
+	e.live = e.live[:last]
+}
+
+// terminate force-unwinds one parked (or not-yet-started) process:
+// resume it with the aborting mark set, which makes park (or the
+// spawn prologue) panic procAbort on the process goroutine; the death
+// defer then marks it dead, drops it from the live list, and signals
+// back. Any panic value the unwinding produced is discarded — the run
+// is being cancelled, and procAbort (or a secondary panic out of the
+// process's own defers) must not mask the *AbortError the caller is
+// about to raise.
+func (e *Engine) terminate(p *Proc) {
+	p.aborting = true
+	p.resume <- struct{}{}
+	<-p.parked
+	e.owner.Store(e.loopGid) // control back in the dispatch loop
 }
 
 // Suspend parks the calling process with no scheduled wakeup; some other
