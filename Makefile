@@ -10,9 +10,9 @@
 GO ?= go
 TMP ?= /tmp/mhpc-smoke
 
-.PHONY: check vet build test race bench bench-smoke bench-snapshot telemetry-smoke faults-smoke serve-smoke
+.PHONY: check vet build test race bench bench-smoke bench-snapshot bench-diff telemetry-smoke faults-smoke serve-smoke
 
-check: vet build test race telemetry-smoke faults-smoke bench-smoke serve-smoke
+check: vet build test race telemetry-smoke faults-smoke bench-smoke bench-diff serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -37,7 +37,7 @@ bench-smoke:
 		./internal/sim ./internal/interconnect
 
 # Perf trajectory snapshot: run the headline benches and record them in
-# BENCH_v4.json (schema mhpc-bench-snapshot/v1; format documented in
+# BENCH_v5.json (schema mhpc-bench-snapshot/v1; format documented in
 # DESIGN.md, Engine performance). The engine/interconnect micro-benches
 # get real benchtime; the multi-second macro benches run once.
 bench-snapshot:
@@ -46,8 +46,15 @@ bench-snapshot:
 		-benchmem ./internal/sim ./internal/interconnect > $(TMP)-bench/out.txt
 	$(GO) test -run '^$$' -bench 'RunAllJobs|Green500HPL' -benchtime 1x -benchmem . \
 		>> $(TMP)-bench/out.txt
-	$(GO) run ./cmd/benchsnap -o BENCH_v4.json < $(TMP)-bench/out.txt
-	$(GO) run ./cmd/jsoncheck BENCH_v4.json
+	$(GO) run ./cmd/benchsnap -o BENCH_v5.json < $(TMP)-bench/out.txt
+	$(GO) run ./cmd/jsoncheck BENCH_v5.json
+
+# Perf regression gate over the committed snapshots: the v5 trajectory
+# must hold the line against v4 — no throughput metric (events/s,
+# chunks/s) down more than 10%, no steady-state bench newly allocating.
+# Pure file comparison, so it is deterministic on any machine.
+bench-diff:
+	$(GO) run ./cmd/benchdiff BENCH_v4.json BENCH_v5.json
 
 # End-to-end observability gate: run the full quick registry with every
 # telemetry exporter on, validate both JSON artefacts, and re-check

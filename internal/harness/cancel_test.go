@@ -62,6 +62,41 @@ func TestCancelMidRunLeavesNoGoroutines(t *testing.T) {
 	}
 }
 
+// The event-driven MPI runtime parks each rank in Suspend for its
+// whole protocol chain (injection cost -> rendezvous -> per-link wire
+// events -> wake), so a mid-run abort now lands, with high likelihood,
+// while ranks sit suspended inside Send/Recv state machines — and
+// while delivery continuations are still queued — rather than in a
+// simple Proc.Wait. Sweeping the cancel threshold walks the abort
+// point across those chains on the MPI-heavy experiments at Jobs=4;
+// every abort must return context.Canceled, render nothing, and tear
+// down all rank goroutines. This is the PR-5 cancel wall extended to
+// the Suspend/Wake runtime; it runs under -race in make check.
+func TestCancelSuspendedMPIRanksLeavesNoGoroutines(t *testing.T) {
+	// The quick green500+fig6 pair dispatches ~79k events; these
+	// thresholds scatter aborts from the first HPL panels to deep into
+	// the run without ever outrunning it.
+	for _, after := range []int64{200, 2500, 15000, 60000} {
+		base := runtime.NumGoroutine()
+		ctx, cancel := context.WithCancel(context.Background())
+		obs := &cancelAfterDispatches{after: after, cancel: cancel}
+		sim.SetDefaultObserver(obs)
+		tabs, err := TablesContext(ctx, []string{"green500", "fig6"}, Options{Quick: true, Jobs: 4})
+		sim.SetDefaultObserver(nil)
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("after=%d: err = %v, want context.Canceled", after, err)
+		}
+		if tabs != nil {
+			t.Fatalf("after=%d: cancelled run returned tables", after)
+		}
+		if got := obs.n.Load(); got < after {
+			t.Fatalf("after=%d: run finished at %d events — cancel landed too late", after, got)
+		}
+		waitGoroutines(t, base)
+	}
+}
+
 // Cancellation through the reliability Monte-Carlo chunk loop: the
 // stability experiment spends its time in reduceChunks, not in an
 // engine, and must still unwind with context.Canceled.

@@ -62,6 +62,20 @@ func (l *Link) Transfer(p *sim.Proc, m int) {
 	l.res.Release()
 }
 
+// TransferFunc is the event-driven counterpart of Transfer: it takes
+// the link, schedules one serialisation event, releases, and then runs
+// done — all without parking a process. Acquisition keeps the same FIFO
+// slot a blocking Transfer would have had, so contended interleavings
+// (and goldens) are unchanged.
+func (l *Link) TransferFunc(m int, done func()) {
+	l.res.AcquireFunc(func() {
+		l.eng.After(l.SerializationTime(m), func() {
+			l.res.Release()
+			done()
+		})
+	})
+}
+
 // TransferChunked moves m bytes in chunks of at most `chunk` bytes,
 // releasing the link between chunks so concurrent flows interleave —
 // packet-granularity fairness instead of whole-message FIFO. With
@@ -197,6 +211,105 @@ func (n *Network) Deliver(p *sim.Proc, src, dst, m int) {
 		// len(path)-1 switch traversals.
 		p.Wait(float64(len(path)-1) * n.SwitchLatUS * 1e-6)
 	}
+}
+
+// Delivery is the event-driven counterpart of Deliver: a reusable
+// state machine that moves one message across its route as a chain of
+// engine events, parking no process. Its event times, scheduling order
+// and resource-queue positions are identical to the blocking path —
+// each link is acquired in FIFO order, held per chunk for exactly the
+// serialisation time the blocking loop would charge, and released in
+// the same dispatch slot — so runs driven through either API produce
+// the same event trace.
+//
+// One Delivery carries one message at a time. Callers whose sends are
+// serial (an MPI rank) keep a single Delivery and reuse it, making the
+// steady-state delivery path allocation-free; concurrent flows each
+// need their own.
+type Delivery struct {
+	net       *Network
+	path      []*Link
+	li        int // index of the link currently being crossed
+	m         int // message size, bytes
+	sent, cur int // progress across the current link
+	done      func()
+	// The two machine states, bound once at construction so the pump
+	// schedules no per-chunk closures.
+	acquired func() // link held: schedule the next chunk's wire time
+	sentDone func() // chunk on the wire: release, advance
+}
+
+// NewDelivery returns an idle Delivery over n's topology.
+func NewDelivery(n *Network) *Delivery {
+	d := &Delivery{net: n}
+	d.acquired = func() {
+		l := d.path[d.li]
+		rem := d.m - d.sent
+		if c := d.net.ChunkBytes; c > 0 && c < rem {
+			d.cur = c
+		} else {
+			d.cur = rem
+		}
+		d.net.Eng.After(l.SerializationTime(d.cur), d.sentDone)
+	}
+	d.sentDone = func() {
+		d.sent += d.cur
+		d.path[d.li].res.Release()
+		if d.sent < d.m {
+			// More chunks on this link: re-acquire behind queued waiters,
+			// exactly as the blocking pump does.
+			d.path[d.li].res.AcquireFunc(d.acquired)
+			return
+		}
+		d.li++
+		if d.li < len(d.path) {
+			d.sent = 0
+			d.path[d.li].res.AcquireFunc(d.acquired)
+			return
+		}
+		d.finish()
+	}
+	return d
+}
+
+// Start begins delivering m bytes from src to dst; done runs when the
+// message has fully arrived (including switch forwarding latency). For
+// a zero-length route (src == dst) done runs synchronously before
+// Start returns — otherwise it runs from engine context, in the very
+// dispatch slot where the blocking Deliver would have resumed its
+// process. Starting a Delivery that is already in flight panics.
+func (d *Delivery) Start(src, dst, m int, done func()) {
+	if d.done != nil {
+		panic("interconnect: Delivery already in flight")
+	}
+	path := d.net.Route(src, dst)
+	if len(path) == 0 {
+		done()
+		return
+	}
+	d.path, d.li, d.m, d.sent, d.done = path, 0, m, 0, done
+	path[0].res.AcquireFunc(d.acquired)
+}
+
+// finish charges the per-hop switch latency and hands off to done,
+// resetting the machine for reuse first so done may immediately Start
+// the next message.
+func (d *Delivery) finish() {
+	hops := len(d.path) - 1
+	done := d.done
+	d.path, d.done = nil, nil
+	if hops > 0 {
+		d.net.Eng.After(float64(hops)*d.net.SwitchLatUS*1e-6, done)
+		return
+	}
+	done()
+}
+
+// DeliverFunc is the event-driven counterpart of Deliver for one-shot
+// callers: it allocates a fresh Delivery per message. Steady-state
+// callers should hold a reusable Delivery instead.
+func (n *Network) DeliverFunc(src, dst, m int, done func()) {
+	NewDelivery(n).Start(src, dst, m, done)
 }
 
 // PathHops returns the number of switch-to-switch hops between nodes —

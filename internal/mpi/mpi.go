@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"mobilehpc/internal/cluster"
+	"mobilehpc/internal/interconnect"
 	"mobilehpc/internal/perf"
 	"mobilehpc/internal/sim"
 	"mobilehpc/internal/trace"
@@ -35,9 +36,12 @@ type Msg struct {
 	Data     any
 }
 
+// recvWait is a posted receive: deliver runs when a matching message
+// arrives, in the sender's dispatch slot — it belongs to a blocking
+// Recv (wake the parked rank) or an Irecv (complete the request).
 type recvWait struct {
 	src, tag int
-	q        *sim.Queue
+	deliver  func(*Msg)
 }
 
 // Rank is one MPI process. All methods that advance time must be
@@ -50,6 +54,53 @@ type Rank struct {
 	waiting []*recvWait
 	collSeq int  // per-rank collective invocation counter (see collTag)
 	inColl  bool // suppress per-message tracing inside collectives
+
+	// Event-driven protocol path. Send and the blocked arm of Recv park
+	// the rank exactly once: the protocol steps in between (injection
+	// cost, rendezvous round trip, per-link wire time, receive cost)
+	// chain as engine events through these continuations, which are
+	// bound once at startup so a steady-state Send allocates only its
+	// Msg. The event times and sequence numbers are identical to the
+	// old park-per-step path — each continuation posts from the same
+	// dispatch slot the blocking code posted from — which is what keeps
+	// goldens and traces byte-identical.
+	snd      *interconnect.Delivery
+	sndDst   int
+	sndBytes int
+	sndStep  func()   // after SendCost: charge rendezvous, then ship
+	sndShip  func()   // put the payload on the wire
+	recvStep func()   // arrival slot: charge RecvCost, then wake
+	rcvMsg   *Msg     // message the blocked Recv is consuming
+	rcvT1    float64  // arrival time of that message
+	rw       recvWait // reusable waiting record for blocking Recv
+	wakeFn   func()   // resumes the rank directly (chain's final event)
+}
+
+// initChains binds the per-rank continuations. Called once per rank at
+// startup, after the process exists.
+func (r *Rank) initChains() {
+	eng := r.comm.Cl.Eng
+	r.snd = interconnect.NewDelivery(r.comm.Cl.Net)
+	r.wakeFn = func() { r.proc.Wake() }
+	r.sndShip = func() { r.snd.Start(r.id, r.sndDst, r.sndBytes, r.wakeFn) }
+	r.sndStep = func() {
+		if th := r.comm.Cl.Proto.RendezvousBytes; th > 0 && r.sndBytes > th {
+			// RTS/CTS round trip before the payload moves.
+			ep := r.Node().Endpoint(r.comm.Cl.Proto)
+			eng.After(2*ep.SoftwareLatencyUS()*1e-6, r.sndShip)
+			return
+		}
+		r.sndShip()
+	}
+	r.recvStep = func() {
+		r.rcvT1 = r.proc.Now()
+		ep := r.Node().Endpoint(r.comm.Cl.Proto)
+		eng.After(ep.RecvCost(r.rcvMsg.Bytes), r.wakeFn)
+	}
+	r.rw.deliver = func(m *Msg) {
+		r.rcvMsg = m
+		eng.After(0, r.recvStep)
+	}
 }
 
 // Comm is the communicator tying ranks to cluster nodes (one rank per
@@ -122,6 +173,7 @@ func runCommon(cl *cluster.Cluster, n int, prog func(r *Rank), tr *trace.Trace) 
 		r.proc = cl.Eng.Go(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
 			prog(r)
 		})
+		r.initChains()
 	}
 	end := cl.Eng.RunAll()
 	if cl.Eng.LiveProcs() != 0 {
@@ -135,8 +187,15 @@ func runCommon(cl *cluster.Cluster, n int, prog func(r *Rank), tr *trace.Trace) 
 // the rank is not inside a collective (which records itself as one
 // interval).
 func (r *Rank) record(s trace.State, t0 float64) {
+	r.recordSpan(s, t0, r.proc.Now())
+}
+
+// recordSpan is record with an explicit end time, for paths that learn
+// an interval boundary from an event chain rather than from the clock
+// at call time (the blocked arm of Recv).
+func (r *Rank) recordSpan(s trace.State, t0, t1 float64) {
 	if tr := r.comm.tracer; tr != nil && !r.inColl {
-		tr.Record(r.id, s, t0, r.proc.Now())
+		tr.Record(r.id, s, t0, t1)
 	}
 }
 
@@ -179,12 +238,13 @@ func (r *Rank) Send(dst, tag int, data any, bytes int) {
 	}
 	ep := r.Node().Endpoint(r.comm.Cl.Proto)
 	t0 := r.proc.Now()
-	r.proc.Wait(ep.SendCost(bytes))
-	if th := r.comm.Cl.Proto.RendezvousBytes; th > 0 && bytes > th {
-		// RTS/CTS round trip before the payload moves.
-		r.proc.Wait(2 * ep.SoftwareLatencyUS() * 1e-6)
-	}
-	r.comm.Cl.Net.Deliver(r.proc, r.id, dst, bytes)
+	// One park for the whole protocol sequence: injection cost, the
+	// rendezvous round trip when the message is above threshold, and
+	// the wire delivery all chain as events (sndStep -> sndShip ->
+	// Delivery), whose last one resumes the rank directly.
+	r.sndDst, r.sndBytes = dst, bytes
+	r.comm.Cl.Eng.After(ep.SendCost(bytes), r.sndStep)
+	r.proc.Suspend()
 	r.record(trace.Send, t0)
 	r.comm.BytesSent += int64(bytes)
 	r.comm.Msgs++
@@ -204,14 +264,15 @@ func (c *Comm) CommMatrix() [][]int64 {
 	return out
 }
 
-// deliver places a message in dst's pending set and wakes a matching
-// waiter, if any. Runs in the sender's process context; the wake goes
-// through the event queue (via sim.Queue) so ordering is deterministic.
+// deliver places a message in dst's pending set and hands it to a
+// matching waiter, if any. Runs in the sender's process context; a
+// woken receiver resumes through the event queue (the waiter's deliver
+// posts its wake) so ordering is deterministic.
 func (r *Rank) deliver(m *Msg) {
 	for i, w := range r.waiting {
 		if (w.src == AnySource || w.src == m.Src) && (w.tag == AnyTag || w.tag == m.Tag) {
 			r.waiting = append(r.waiting[:i], r.waiting[i+1:]...)
-			w.q.Push(m)
+			w.deliver(m)
 			return
 		}
 	}
@@ -225,9 +286,17 @@ func (r *Rank) Recv(src, tag int) *Msg {
 	t0 := r.proc.Now()
 	m := r.match(src, tag)
 	if m == nil {
-		w := &recvWait{src: src, tag: tag, q: sim.NewQueue(r.comm.Cl.Eng)}
-		r.waiting = append(r.waiting, w)
-		m = w.q.Pop(r.proc).(*Msg)
+		// One park for wait-plus-receive: arrival posts recvStep (the
+		// slot the old queue wake occupied), which charges the receive
+		// cost as an event whose dispatch resumes the rank.
+		r.rw.src, r.rw.tag = src, tag
+		r.waiting = append(r.waiting, &r.rw)
+		r.proc.Suspend()
+		m = r.rcvMsg
+		r.rcvMsg = nil
+		r.recordSpan(trace.Wait, t0, r.rcvT1)
+		r.recordSpan(trace.Recv, r.rcvT1, r.proc.Now())
+		return m
 	}
 	r.record(trace.Wait, t0)
 	t1 := r.proc.Now()

@@ -1,23 +1,41 @@
 package mpi
 
-import "mobilehpc/internal/sim"
+import "mobilehpc/internal/interconnect"
 
 // Request is a handle for a nonblocking operation; Wait blocks the
-// owning rank until the operation completes.
+// owning rank until the operation completes. Completion is event-driven:
+// the operation's last event marks the request ready and, if the owner
+// is already parked in Wait, posts its wake — there is no helper
+// goroutine or queue behind a request.
 type Request struct {
-	rank *Rank
-	done bool
-	q    *sim.Queue
-	msg  *Msg // for Irecv: the received message after Wait
+	rank    *Rank
+	done    bool // completion consumed by Wait/Done
+	ready   bool // operation complete; msg holds any result
+	waiting bool // owner parked in Wait
+	msg     *Msg // for Irecv: the received message
+}
+
+// complete marks the operation finished (m is the received message for
+// Irecv, nil for Isend) and wakes the owner if it is parked in Wait.
+// Runs in the completing party's context — the sender's process for a
+// matched Irecv, an engine event for an Isend chain — and the wake goes
+// through the event queue, in the same slot the old queue push used.
+func (req *Request) complete(m *Msg) {
+	req.msg = m
+	req.ready = true
+	if req.waiting {
+		req.waiting = false
+		req.rank.proc.PostWake()
+	}
 }
 
 // Wait blocks until the operation completes and, for receives, returns
 // the message (nil for sends). Waiting twice is a no-op.
 func (req *Request) Wait() *Msg {
 	if !req.done {
-		m := req.q.Pop(req.rank.proc)
-		if mm, ok := m.(*Msg); ok {
-			req.msg = mm
+		if !req.ready {
+			req.waiting = true
+			req.rank.proc.Suspend()
 		}
 		req.done = true
 	}
@@ -26,20 +44,14 @@ func (req *Request) Wait() *Msg {
 
 // Done reports whether the operation has completed without blocking.
 func (req *Request) Done() bool {
-	if req.done {
-		return true
-	}
-	if v, ok := req.q.TryPop(); ok {
-		if mm, isMsg := v.(*Msg); isMsg {
-			req.msg = mm
-		}
+	if !req.done && req.ready {
 		req.done = true
 	}
 	return req.done
 }
 
 // Isend starts a nonblocking send: the sender is charged only the CPU
-// injection cost; wire time and delivery proceed on a helper process,
+// injection cost; wire time and delivery proceed as an event chain,
 // overlapping with the caller's subsequent computation — the
 // latency-hiding technique §6.3 recommends for slow mobile-SoC
 // interconnects. Wait returns once the message is delivered.
@@ -56,18 +68,27 @@ func (r *Rank) Isend(dst, tag int, data any, bytes int) *Request {
 	ep := r.Node().Endpoint(r.comm.Cl.Proto)
 	// CPU injection cost blocks the caller (it is core time).
 	r.proc.Wait(ep.SendCost(bytes))
-	req := &Request{rank: r, q: sim.NewQueue(r.comm.Cl.Eng)}
+	req := &Request{rank: r}
 	eng := r.comm.Cl.Eng
-	eng.Go("isend", func(p *sim.Proc) {
+	// In-flight sends overlap, so each request gets its own Delivery.
+	d := interconnect.NewDelivery(r.comm.Cl.Net)
+	ship := func() {
+		d.Start(r.id, dst, bytes, func() {
+			r.comm.BytesSent += int64(bytes)
+			r.comm.Msgs++
+			r.comm.pairBytes[r.id*r.Size()+dst] += int64(bytes)
+			r.comm.ranks[dst].deliver(&Msg{Src: r.id, Tag: tag, Bytes: bytes, Data: data})
+			req.complete(nil)
+		})
+	}
+	// The zero-delay start event keeps the slot the old helper
+	// process's spawn occupied.
+	eng.After(0, func() {
 		if th := r.comm.Cl.Proto.RendezvousBytes; th > 0 && bytes > th {
-			p.Wait(2 * ep.SoftwareLatencyUS() * 1e-6)
+			eng.After(2*ep.SoftwareLatencyUS()*1e-6, ship)
+			return
 		}
-		r.comm.Cl.Net.Deliver(p, r.id, dst, bytes)
-		r.comm.BytesSent += int64(bytes)
-		r.comm.Msgs++
-		r.comm.pairBytes[r.id*r.Size()+dst] += int64(bytes)
-		r.comm.ranks[dst].deliver(&Msg{Src: r.id, Tag: tag, Bytes: bytes, Data: data})
-		req.q.Push(true)
+		ship()
 	})
 	return req
 }
@@ -76,15 +97,12 @@ func (r *Rank) Isend(dst, tag int, data any, bytes int) *Request {
 // (wildcards allowed). The receiver-side protocol cost is charged at
 // Wait time, when the message is consumed.
 func (r *Rank) Irecv(src, tag int) *Request {
-	req := &Request{rank: r, q: sim.NewQueue(r.comm.Cl.Eng)}
+	req := &Request{rank: r}
 	if m := r.match(src, tag); m != nil {
-		req.q.Push(m)
+		req.msg, req.ready = m, true
 	} else {
-		w := &recvWait{src: src, tag: tag, q: req.q}
-		r.waiting = append(r.waiting, w)
+		r.waiting = append(r.waiting, &recvWait{src: src, tag: tag, deliver: req.complete})
 	}
-	// Wrap Wait's completion with the receive CPU cost by swapping in a
-	// cost-charging queue consumer: simplest is to charge in WaitRecv.
 	return req
 }
 

@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Tests for the tombstone-count + compaction cancel path: cancels must
+// leave dispatch order exactly as the slice-scan reference model says,
+// compaction must keep the queue bounded under sustained cancel load,
+// and stale handles — fired, double-cancelled, or free-listed — must be
+// strict no-ops.
+
+// FuzzCancelCompaction drives cancel-dense schedules through the engine
+// and the reference model. Three bytes per root event: the first picks
+// its time (three low bits, ties abound), the other two each name an
+// earlier event to cancel — up front before the run (high bit set) or
+// from this event's callback mid-dispatch. Dense cancels push the
+// tombstone count over the compaction threshold repeatedly, so sweeps
+// run with tombstones at the head slot, at the heap root, and across
+// interior nodes — and the fire sequence must still match the model
+// byte for byte.
+func FuzzCancelCompaction(f *testing.F) {
+	// Seeds sized past compactMinTombstones so compaction triggers in
+	// the seed corpus, not only in mutated inputs.
+	f.Add(bytes.Repeat([]byte{3, 0x81, 0x82}, 3*compactMinTombstones))
+	f.Add(bytes.Repeat([]byte{5, 0x01, 0x83}, 2*compactMinTombstones))
+	f.Add(bytes.Repeat([]byte{0, 0xff, 0x07}, compactMinTombstones))
+	f.Add([]byte{1, 0x80, 0, 2, 0x81, 0x81, 3, 2, 2, 0, 0x84, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 || len(data) > 1536 {
+			return
+		}
+		var roots []*specEv
+		var pre []int
+		for i := 0; i+2 < len(data); i += 3 {
+			id := len(roots)
+			roots = append(roots, &specEv{id: id, delay: float64(data[i] & 7)})
+			for _, b := range data[i+1 : i+3] {
+				if b == 0 || id == 0 {
+					continue
+				}
+				target := int(b&0x7f) % id
+				if b&0x80 != 0 {
+					pre = append(pre, target)
+				} else {
+					roots[id].cancels = append(roots[id].cancels, target)
+				}
+			}
+		}
+		want := refRunPre(roots, pre)
+		got := engineRunPre(roots, pre)
+		compareFires(t, got, want)
+	})
+}
+
+// Sustained cancel load must not grow the queue: each tick cancels the
+// previous tick's batch of far-future events and schedules a fresh one,
+// so over the run the total cancel count is ~50x the live population.
+// Lazy deletion alone would let the canceled placeholders pile up to
+// ticks*batch; the compaction trigger bounds the queue to live events
+// plus a constant-factor tombstone allowance.
+func TestCompactionBoundsHeapUnderSustainedCancels(t *testing.T) {
+	e := NewEngine()
+	const ticks, batch = 500, 100
+	var (
+		prev          []*Event
+		n             int
+		maxPending    int
+		maxTombstones int
+		canceled      int
+	)
+	var tick func()
+	tick = func() {
+		for _, ev := range prev {
+			ev.Cancel()
+			canceled++
+			// A compaction fires inside Cancel the moment the trigger is
+			// met, so the largest observable count is one short of it.
+			if e.tombstones > maxTombstones {
+				maxTombstones = e.tombstones
+			}
+		}
+		prev = prev[:0]
+		if n++; n < ticks {
+			for i := 0; i < batch; i++ {
+				prev = append(prev, e.Schedule(1e9, func() {
+					t.Error("canceled far-future event fired")
+				}))
+			}
+			e.After(1, tick)
+		}
+		if p := e.Pending(); p > maxPending {
+			maxPending = p
+		}
+	}
+	e.After(1, tick)
+	e.RunAll()
+	if want := (ticks - 1) * batch; canceled != want {
+		t.Fatalf("canceled %d events, want %d — the load never built up", canceled, want)
+	}
+	// Live events per tick are ~batch+1; the trigger fires once
+	// tombstones exceed max(compactMinTombstones, live), so the queue
+	// may never exceed a small multiple of the live population.
+	if bound := 3*batch + 2*compactMinTombstones; maxPending > bound {
+		t.Fatalf("queue grew to %d under sustained cancels, want <= %d (compaction not bounding)",
+			maxPending, bound)
+	}
+	if maxTombstones < compactMinTombstones-1 {
+		t.Fatalf("tombstones peaked at %d (< %d): the load never reached the compaction trigger",
+			maxTombstones, compactMinTombstones-1)
+	}
+	if e.Pending() != 0 || e.tombstones != 0 {
+		t.Fatalf("drained engine left pending=%d tombstones=%d", e.Pending(), e.tombstones)
+	}
+}
+
+// A handle cancelled after its event fired must be a strict no-op: no
+// tombstone accounting, no spurious compaction, and the engine keeps
+// dispatching correctly afterwards.
+func TestCancelAfterDispatchIsNoOp(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	h := e.Schedule(1, func() { fired++ })
+	e.RunAll()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	h.Cancel()
+	h.Cancel() // and double-cancel on the stale handle
+	if e.tombstones != 0 {
+		t.Fatalf("stale cancel corrupted the tombstone count: %d", e.tombstones)
+	}
+	e.Schedule(1, func() { fired++ })
+	e.RunAll()
+	if fired != 2 {
+		t.Fatalf("engine broken after stale cancel: fired = %d, want 2", fired)
+	}
+}
+
+// Double-cancelling a queued handle must count one tombstone, not two —
+// otherwise the count drifts from the real tombstone population and
+// compaction triggers (or lazy deletion under-counts) spuriously.
+func TestDoubleCancelCountsOneTombstone(t *testing.T) {
+	e := NewEngine()
+	h := e.Schedule(5, func() { t.Error("cancelled event fired") })
+	e.Schedule(6, func() {})
+	h.Cancel()
+	h.Cancel()
+	if e.tombstones != 1 {
+		t.Fatalf("tombstones = %d after double cancel, want 1", e.tombstones)
+	}
+	e.RunAll()
+	if e.tombstones != 0 || e.Pending() != 0 {
+		t.Fatalf("drain left tombstones=%d pending=%d", e.tombstones, e.Pending())
+	}
+}
+
+// The free-list path: a pooled event that has fired and been recycled
+// sits on the engine's free list with eng == nil. A stale cancel
+// reaching it (white-box here; pooled handles are never exposed, but a
+// corrupted pointer or future refactor might leak one) must neither
+// mark it — which would kill the next callback to reuse the slot — nor
+// touch the tombstone count.
+func TestCancelOnFreeListedEventIsNoOp(t *testing.T) {
+	e := NewEngine()
+	e.After(0, func() {})
+	e.RunAll() // the pooled event is now recycled
+	stale := e.free
+	if stale == nil {
+		t.Fatal("expected a recycled event on the free list")
+	}
+	stale.Cancel()
+	if stale.canceled {
+		t.Fatal("Cancel marked a free-listed event")
+	}
+	if e.tombstones != 0 {
+		t.Fatalf("Cancel on a free-listed event counted a tombstone: %d", e.tombstones)
+	}
+	ran := false
+	e.After(0, func() { ran = true }) // reuses the free-listed slot
+	e.RunAll()
+	if !ran {
+		t.Fatal("stale cancel killed the recycled event's callback")
+	}
+}
+
+// A queued pooled event (posted via After, reachable white-box through
+// the head slot) is cancellable in principle but never handed out; what
+// must hold is that once it fires, its recycled incarnation is immune
+// to handles cancelled before the recycling — the ABA direction of the
+// free-list guard.
+func TestCancelledHandleDoesNotPoisonRecycledSlot(t *testing.T) {
+	e := NewEngine()
+	h := e.Schedule(1, func() { t.Error("cancelled event fired") })
+	h.Cancel()
+	e.RunAll() // tombstone drains; handle's eng is nil now
+	h.Cancel() // stale re-cancel after drain
+	if e.tombstones != 0 {
+		t.Fatalf("tombstones = %d, want 0", e.tombstones)
+	}
+	ran := 0
+	for i := 0; i < 4; i++ {
+		e.After(float64(i), func() { ran++ })
+	}
+	e.RunAll()
+	if ran != 4 {
+		t.Fatalf("ran = %d of 4 after stale re-cancel", ran)
+	}
+}

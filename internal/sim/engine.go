@@ -19,9 +19,19 @@
 // strict total order and equal-time events dispatch in scheduling
 // (FIFO) order. The current minimum is held outside the heap in a
 // one-element cache, so the dominant stepping pattern (dispatch one
-// event, schedule the next) never touches the heap at all. Cancelled
-// events are deleted lazily: Cancel only marks the event, and the
-// dispatch loop drops marked events when they surface at the minimum.
+// event, schedule the next) never touches the heap at all.
+//
+// Cancelled events are deleted lazily — Cancel only marks the event —
+// but the engine counts the tombstones it leaves behind, and when they
+// outnumber the live events (and pass a minimum batch size) the heap
+// is compacted in one O(n) sweep-and-heapify pass. Cancel-heavy
+// schedules (protocol timeouts, fault injectors arming alarms that
+// almost always die first) therefore pay amortised O(1) per cancel and
+// the queue stays bounded by the live-event population, instead of
+// accumulating placeholders until their (possibly far-future) times
+// surface. Compaction is a pure queue-representation change: dispatch
+// order is the (time, seq) total order, which heapify preserves, so
+// simulation output is unaffected.
 //
 // Two scheduling APIs share that queue. Schedule/At return a *Event
 // handle that supports Cancel; each call allocates, because the handle
@@ -39,10 +49,11 @@
 // task its own Engine; it never shares one across workers. Scheduling
 // onto an engine from a second goroutine while Run is active panics
 // with a diagnostic rather than silently corrupting the event heap
-// (see checkOwner). Schedule and At verify ownership on every call;
-// the After/AtFunc fast path amortises the (expensive, runtime.Stack
-// based) verification over every 64th in-Run call, so sustained misuse
-// still panics while the hot path stays hot.
+// (see checkOwner). All scheduling entry points — Schedule, At, After,
+// AtFunc — amortise the (expensive, runtime.Stack based) goroutine-id
+// verification over every ownerSampleWindow-th in-Run call, so
+// sustained misuse still panics within one sampling window while the
+// hot path pays two predictable branches per call.
 package sim
 
 import (
@@ -56,21 +67,49 @@ import (
 // can be cancelled before it fires. Events scheduled through the
 // After/AtFunc fast path are pooled internally and never exposed.
 type Event struct {
-	time     float64
-	seq      uint64
-	fn       func()
-	next     *Event // free-list link while recycled (pooled events only)
-	pooled   bool   // recycled through the engine free list after firing
+	time float64
+	seq  uint64
+	fn   func()
+	next *Event // free-list link while recycled (pooled events only)
+	// eng is the owning engine while the event is queued, nil once it
+	// has been dispatched or dropped. It is both the tombstone-count
+	// channel for Cancel and the guard that makes Cancel on a stale
+	// handle — already fired, already dropped, sitting in the free
+	// list — a strict no-op instead of a count-corrupting (or, on the
+	// free-list path, callback-killing) write.
+	eng      *Engine
+	pooled   bool // recycled through the engine free list after firing
 	canceled bool
 }
 
 // Time returns the virtual time at which the event fires.
 func (e *Event) Time() float64 { return e.time }
 
-// Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op. The event stays queued as a
-// placeholder until it surfaces at the top of the queue (lazy deletion).
-func (e *Event) Cancel() { e.canceled = true }
+// Cancel prevents the event from firing. Cancelling an already-fired,
+// already-cancelled, or otherwise no-longer-queued event is a no-op —
+// in particular a handle held past its dispatch can never corrupt the
+// engine's free list or cancel an unrelated recycled event. The event
+// stays queued as a tombstone until it either surfaces at the top of
+// the queue (lazy deletion) or a compaction sweep reclaims it, which
+// the engine triggers once tombstones outnumber live events.
+func (e *Event) Cancel() {
+	eng := e.eng
+	if eng == nil || e.canceled {
+		return
+	}
+	e.canceled = true
+	eng.tombstones++
+	if eng.tombstones >= compactMinTombstones && eng.tombstones*2 > eng.Pending() {
+		eng.compact()
+	}
+}
+
+// compactMinTombstones is the minimum tombstone population before a
+// cancel triggers heap compaction: below it, lazy deletion at the heap
+// top is cheaper than a sweep; above it, compaction runs only when
+// tombstones outnumber live events, so its O(n) cost amortises to O(1)
+// per cancel and the queue length stays within 2x the live events.
+const compactMinTombstones = 64
 
 // less orders events by (time, seq): earlier time first, and FIFO
 // scheduling order among equal-time events. seq is unique per engine,
@@ -117,16 +156,20 @@ func SetDefaultObserver(o Observer) { defaultObserver.Store(observerBox{o}) }
 // Engine is a discrete-event simulator. The zero value is not ready;
 // use NewEngine.
 type Engine struct {
-	now     float64
-	seq     uint64
-	head    *Event   // cached queue minimum; nil iff the queue is empty
-	heap    []*Event // 4-ary min-heap of the remaining events
-	free    *Event   // free list of recycled pooled events
-	procs   int      // live processes, for leak detection
-	live    []*Proc  // the live processes themselves, for abort teardown
-	stopped bool
-	obs     Observer   // nil = no telemetry (the default)
-	abort   *AbortFlag // nil = not cancellable (the default)
+	now  float64
+	seq  uint64
+	head *Event   // cached most-recent minimum; nil when that slot is empty
+	heap []*Event // 4-ary min-heap of the remaining events
+	free *Event   // free list of recycled pooled events
+	// tombstones counts cancelled events still sitting in the queue
+	// (head slot included). Maintained by Cancel, the lazy-deletion
+	// drop in Run, and compact.
+	tombstones int
+	procs      int     // live processes, for leak detection
+	live       []*Proc // the live processes themselves, for abort teardown
+	stopped    bool
+	obs        Observer   // nil = no telemetry (the default)
+	abort      *AbortFlag // nil = not cancellable (the default)
 
 	// Misuse detection for the one-engine-per-goroutine invariant:
 	// while running is set, owner holds the goroutine id of the single
@@ -171,14 +214,23 @@ func (e *Engine) checkOwner() {
 	}
 }
 
-// checkOwnerSampled is the amortised ownership check of the After/
-// AtFunc fast path: full gid verification (a runtime.Stack parse) on
-// every 64th in-Run call. A legitimate caller pays two branches; a
-// rogue goroutine calling in a loop still panics within 64 calls.
+// ownerSampleWindow is the amortisation window of the sampled
+// ownership check: one full gid verification (a ~6 µs runtime.Stack
+// parse) per this many in-Run scheduling calls. At 4096 the check
+// costs under 2 ns amortised — invisible next to a ~60 ns dispatch —
+// while a rogue goroutine hammering any scheduling entry point still
+// panics within one window.
+const ownerSampleWindow = 4096
+
+// checkOwnerSampled is the amortised ownership check shared by every
+// scheduling entry point (Schedule, At, After, AtFunc): full gid
+// verification on every ownerSampleWindow-th in-Run call. A legitimate
+// caller pays two branches; a rogue goroutine calling in a loop still
+// panics within one sampling window.
 func (e *Engine) checkOwnerSampled() {
 	if e.running.Load() {
 		e.postN++
-		if e.postN&63 == 0 {
+		if e.postN&(ownerSampleWindow-1) == 0 {
 			e.checkOwner()
 		}
 	}
@@ -216,7 +268,7 @@ func (e *Engine) Now() float64 { return e.now }
 // caller; it panics. For hot paths that never cancel, prefer After —
 // it recycles events and allocates nothing in steady state.
 func (e *Engine) Schedule(delay float64, fn func()) *Event {
-	e.checkOwner()
+	e.checkOwnerSampled()
 	if delay < 0 || math.IsNaN(delay) {
 		panic(fmt.Sprintf("sim: negative or NaN delay %v", delay))
 	}
@@ -226,7 +278,7 @@ func (e *Engine) Schedule(delay float64, fn func()) *Event {
 // At queues fn to run at absolute virtual time t (>= Now) and returns
 // a cancellable handle.
 func (e *Engine) At(t float64, fn func()) *Event {
-	e.checkOwner()
+	e.checkOwnerSampled()
 	return e.at(t, fn)
 }
 
@@ -237,7 +289,7 @@ func (e *Engine) at(t float64, fn func()) *Event {
 		panic(fmt.Sprintf("sim: scheduling in the past: t=%v now=%v", t, e.now))
 	}
 	e.seq++
-	ev := &Event{time: t, seq: e.seq, fn: fn}
+	ev := &Event{time: t, seq: e.seq, fn: fn, eng: e}
 	e.insert(ev)
 	return ev
 }
@@ -276,9 +328,9 @@ func (e *Engine) post(t float64, fn func()) {
 	if ev != nil {
 		e.free = ev.next
 		ev.next = nil
-		ev.time, ev.seq, ev.fn, ev.canceled = t, e.seq, fn, false
+		ev.time, ev.seq, ev.fn, ev.eng, ev.canceled = t, e.seq, fn, e, false
 	} else {
-		ev = &Event{time: t, seq: e.seq, fn: fn, pooled: true}
+		ev = &Event{time: t, seq: e.seq, fn: fn, eng: e, pooled: true}
 	}
 	e.insert(ev)
 }
@@ -327,12 +379,21 @@ func (e *Engine) heapPopRoot() {
 	n := len(h) - 1
 	last := h[n]
 	h[n] = nil
-	h = h[:n]
-	e.heap = h
+	e.heap = h[:n]
 	if n == 0 {
 		return
 	}
-	i := 0
+	e.heap[0] = last
+	e.siftDown(0)
+}
+
+// siftDown restores heap order below position i, assuming the rest of
+// the heap is well-formed. Shared by heapPopRoot and the compaction
+// heapify.
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	ev := h[i]
 	for {
 		first := 4*i + 1
 		if first >= n {
@@ -348,20 +409,67 @@ func (e *Engine) heapPopRoot() {
 				m = c
 			}
 		}
-		if !less(h[m], last) {
+		if !less(h[m], ev) {
 			break
 		}
 		h[i] = h[m]
 		i = m
 	}
-	h[i] = last
+	h[i] = ev
+}
+
+// compact reclaims every tombstone in one pass: cancelled events are
+// swept out of the heap slice (and the head slot), reported to the
+// observer, and recycled; the survivors are re-heapified in place.
+// Dispatch order is untouched — it is fixed by the (time, seq) total
+// order, not by heap shape — so compaction is invisible to the
+// simulation. Cost is O(queue), amortised O(1) per cancel by the
+// tombstones-outnumber-live trigger in Cancel.
+func (e *Engine) compact() {
+	h := e.heap
+	kept := h[:0]
+	for _, ev := range h {
+		if ev.canceled {
+			e.dropCanceled(ev)
+		} else {
+			kept = append(kept, ev)
+		}
+	}
+	for i := len(kept); i < len(h); i++ {
+		h[i] = nil
+	}
+	e.heap = kept
+	// Bottom-up 4-ary heapify over the survivors.
+	if len(kept) > 1 {
+		for i := (len(kept) - 2) / 4; i >= 0; i-- {
+			e.siftDown(i)
+		}
+	}
+	if e.head != nil && e.head.canceled {
+		e.dropCanceled(e.head)
+		// Leave the slot empty: the dispatch loop and insert both
+		// tolerate a nil head alongside a populated heap.
+		e.head = nil
+	}
+	e.tombstones = 0
+}
+
+// dropCanceled retires one cancelled event outside the dispatch loop's
+// own lazy-deletion path: observer callback, then recycle.
+func (e *Engine) dropCanceled(ev *Event) {
+	if e.obs != nil {
+		e.obs.EventCanceled()
+	}
+	e.recycle(ev)
 }
 
 // recycle returns a pooled event to the free list (and drops the
-// callback reference either way, so fired closures can be collected
-// while a caller still holds the handle).
+// callback and engine references either way, so fired closures can be
+// collected — and stale Cancel calls are no-ops — while a caller still
+// holds the handle).
 func (e *Engine) recycle(ev *Event) {
 	ev.fn = nil
+	ev.eng = nil
 	if ev.pooled {
 		ev.next = e.free
 		e.free = ev
@@ -401,8 +509,9 @@ func (e *Engine) Run(limit float64) float64 {
 			break
 		}
 		if ev.canceled {
-			// Lazy deletion: drop the placeholder now that it surfaced.
+			// Lazy deletion: drop the tombstone now that it surfaced.
 			e.dropMin(fromHeap)
+			e.tombstones--
 			if e.obs != nil {
 				e.obs.EventCanceled()
 			}

@@ -8,9 +8,15 @@ import (
 // Scheduling onto an engine from a second goroutine while Run is active
 // must panic with a diagnostic, not corrupt the event heap. This is the
 // invariant the parallel experiment harness relies on (one engine per
-// worker task).
-func TestScheduleFromSecondGoroutinePanics(t *testing.T) {
-	e := NewEngine()
+// worker task). All scheduling entry points share one amortised
+// ownership check (full gid verification every ownerSampleWindow-th
+// in-Run call), so a rogue goroutine hammering any of them must panic
+// within one sampling window.
+
+// rogueCalls drives fn from a second goroutine, inside a dispatched
+// event of e, until it panics or the sampling window is exhausted, and
+// returns the recovered panic value (nil if none).
+func rogueCalls(e *Engine, fn func(i int)) any {
 	got := make(chan any, 1)
 	e.Schedule(0, func() {
 		done := make(chan struct{})
@@ -19,14 +25,21 @@ func TestScheduleFromSecondGoroutinePanics(t *testing.T) {
 				got <- recover()
 				close(done)
 			}()
-			e.Schedule(1, func() {})
+			for i := 0; i < ownerSampleWindow; i++ {
+				fn(i)
+			}
 		}()
 		<-done
 	})
-	e.RunAll()
-	r := <-got
+	e.Run(10)
+	return <-got
+}
+
+func TestScheduleFromSecondGoroutinePanics(t *testing.T) {
+	e := NewEngine()
+	r := rogueCalls(e, func(int) { e.Schedule(1e6, func() {}) })
 	if r == nil {
-		t.Fatal("Schedule from a second goroutine during Run did not panic")
+		t.Fatal("a window of Schedule calls from a second goroutine during Run did not panic")
 	}
 	msg, ok := r.(string)
 	if !ok || !strings.Contains(msg, "second goroutine") {
@@ -37,47 +50,18 @@ func TestScheduleFromSecondGoroutinePanics(t *testing.T) {
 // The same misuse through At must hit the same check.
 func TestAtFromSecondGoroutinePanics(t *testing.T) {
 	e := NewEngine()
-	got := make(chan any, 1)
-	e.Schedule(0, func() {
-		done := make(chan struct{})
-		go func() {
-			defer func() {
-				got <- recover()
-				close(done)
-			}()
-			e.At(2, func() {})
-		}()
-		<-done
-	})
-	e.RunAll()
-	if <-got == nil {
-		t.Fatal("At from a second goroutine during Run did not panic")
+	if rogueCalls(e, func(int) { e.At(1e6, func() {}) }) == nil {
+		t.Fatal("a window of At calls from a second goroutine during Run did not panic")
 	}
 }
 
-// After's ownership check is amortised (every 64th in-Run call does the
-// full goroutine-id verification), so a rogue goroutine hammering the
-// fast path must still panic within one sampling window.
+// After's ownership check is the same amortised one, reached through
+// the pooled fast path.
 func TestAfterFromSecondGoroutinePanicsSampled(t *testing.T) {
 	e := NewEngine()
-	got := make(chan any, 1)
-	e.Schedule(0, func() {
-		done := make(chan struct{})
-		go func() {
-			defer func() {
-				got <- recover()
-				close(done)
-			}()
-			for i := 0; i < 64; i++ {
-				e.After(1e6, func() {}) // far future: never dispatched mid-test
-			}
-		}()
-		<-done
-	})
-	e.Run(10)
-	r := <-got
+	r := rogueCalls(e, func(int) { e.After(1e6, func() {}) }) // far future: never dispatched mid-test
 	if r == nil {
-		t.Fatal("64 After calls from a second goroutine during Run did not panic")
+		t.Fatal("a window of After calls from a second goroutine during Run did not panic")
 	}
 	msg, ok := r.(string)
 	if !ok || !strings.Contains(msg, "second goroutine") {
@@ -110,4 +94,24 @@ func TestOwnershipCheckAllowsProcesses(t *testing.T) {
 		e.Schedule(0, func() {})
 	}()
 	<-doneCh
+}
+
+// Sustained legitimate use across many sampling windows must never
+// trip the check either — the sampled verification has to agree with
+// the handoff-tracked owner at every sample point.
+func TestSampledCheckQuietAcrossWindows(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < 3*ownerSampleWindow {
+			e.After(1, tick)
+		}
+	}
+	e.After(1, tick)
+	e.RunAll()
+	if n != 3*ownerSampleWindow {
+		t.Fatalf("ran %d events, want %d", n, 3*ownerSampleWindow)
+	}
 }

@@ -142,6 +142,14 @@ func (p *Proc) Suspend() { p.park() }
 // like any other resume.
 func (p *Proc) Wake() { p.eng.switchTo(p) }
 
+// PostWake schedules p's resumption at the current instant through the
+// event queue — the same deterministic wake Queue.Push and
+// Resource.Release use, landing in FIFO order with other equal-time
+// events. Unlike Wake (a direct handoff, engine context only) it may be
+// called from another process's context too; p resumes when the posted
+// event fires.
+func (p *Proc) PostWake() { p.eng.post(p.eng.now, p.wake) }
+
 // Wait suspends the process for d seconds of virtual time.
 func (p *Proc) Wait(d float64) {
 	p.eng.After(d, p.wake)
