@@ -6,13 +6,16 @@
 # smoke run that proves a fault-injected sweep is byte-identical across
 # -j and lands its injected events in the run manifest, and the serve
 # smoke run that boots the real mhpcd binary and exercises cache,
-# admission control, and SIGTERM drain over live HTTP.
+# admission control, and SIGTERM drain over live HTTP, and the stream
+# smoke run that drives the async job plane — SSE telemetry deltas,
+# job cancellation, and the Prometheus /metrics exposition — against
+# the same real binary.
 GO ?= go
 TMP ?= /tmp/mhpc-smoke
 
-.PHONY: check vet build test race bench bench-smoke bench-snapshot bench-diff telemetry-smoke faults-smoke serve-smoke
+.PHONY: check vet build test race bench bench-smoke bench-snapshot bench-diff telemetry-smoke faults-smoke serve-smoke stream-smoke
 
-check: vet build test race telemetry-smoke faults-smoke bench-smoke bench-diff serve-smoke
+check: vet build test race telemetry-smoke faults-smoke bench-smoke bench-diff serve-smoke stream-smoke
 
 vet:
 	$(GO) vet ./...
@@ -37,24 +40,29 @@ bench-smoke:
 		./internal/sim ./internal/interconnect
 
 # Perf trajectory snapshot: run the headline benches and record them in
-# BENCH_v5.json (schema mhpc-bench-snapshot/v1; format documented in
+# BENCH_v6.json (schema mhpc-bench-snapshot/v1; format documented in
 # DESIGN.md, Engine performance). The engine/interconnect micro-benches
-# get real benchtime; the multi-second macro benches run once.
+# and the obs scrape path get real benchtime; the multi-second macro
+# benches — including the task-latency quantile bench, whose
+# task_p50_ns/task_p99_ns custom metrics record the histogram plane's
+# view of the registry — run once.
 bench-snapshot:
 	rm -rf $(TMP)-bench && mkdir -p $(TMP)-bench
 	$(GO) test -run '^$$' -bench 'EngineThroughput|TransferChunked|EventDispatch|ProcSwitch' \
 		-benchmem ./internal/sim ./internal/interconnect > $(TMP)-bench/out.txt
-	$(GO) test -run '^$$' -bench 'RunAllJobs|Green500HPL' -benchtime 1x -benchmem . \
+	$(GO) test -run '^$$' -bench 'ScrapeRange|HistogramObserve' -benchmem ./internal/obs \
 		>> $(TMP)-bench/out.txt
-	$(GO) run ./cmd/benchsnap -o BENCH_v5.json < $(TMP)-bench/out.txt
-	$(GO) run ./cmd/jsoncheck BENCH_v5.json
+	$(GO) test -run '^$$' -bench 'RunAllJobs|Green500HPL|PoolTaskLatency' -benchtime 1x -benchmem . \
+		>> $(TMP)-bench/out.txt
+	$(GO) run ./cmd/benchsnap -o BENCH_v6.json < $(TMP)-bench/out.txt
+	$(GO) run ./cmd/jsoncheck BENCH_v6.json
 
-# Perf regression gate over the committed snapshots: the v5 trajectory
-# must hold the line against v4 — no throughput metric (events/s,
+# Perf regression gate over the committed snapshots: the v6 trajectory
+# must hold the line against v5 — no throughput metric (events/s,
 # chunks/s) down more than 10%, no steady-state bench newly allocating.
 # Pure file comparison, so it is deterministic on any machine.
 bench-diff:
-	$(GO) run ./cmd/benchdiff BENCH_v4.json BENCH_v5.json
+	$(GO) run ./cmd/benchdiff BENCH_v5.json BENCH_v6.json
 
 # End-to-end observability gate: run the full quick registry with every
 # telemetry exporter on, validate both JSON artefacts, and re-check
@@ -90,3 +98,12 @@ faults-smoke:
 # state is all shared-memory concurrent.
 serve-smoke:
 	MHPC_SERVE_SMOKE=1 $(GO) test -race -run TestServeSmoke -count=1 ./cmd/mhpcd
+
+# End-to-end observability gate: against the same real binary, submit a
+# quick-registry job on the async path, require >= 3 SSE telemetry
+# deltas before the done event, resolve the content-addressed result
+# key, cancel a full-fidelity straggler over HTTP, and scrape /metrics
+# as Prometheus 0.0.4 text exposition. Race mode on: the stream plane
+# shares the collector with every running job.
+stream-smoke:
+	MHPC_STREAM_SMOKE=1 $(GO) test -race -run TestStreamSmoke -count=1 ./cmd/mhpcd

@@ -191,6 +191,30 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	})
 }
 
+// BenchmarkPoolTaskLatency runs the full quick registry with a live
+// collector attached and reports the task-latency quantiles the
+// histogram plane records — the p50/p99 numbers bench-snapshot carries
+// into the committed perf trajectory. ns/op here is the instrumented
+// registry time; the custom metrics are the observability payload.
+func BenchmarkPoolTaskLatency(b *testing.B) {
+	var p50, p99 float64
+	for i := 0; i < b.N; i++ {
+		c := obs.New()
+		obs.SetActive(c)
+		sim.SetDefaultObserver(obs.NewSimObserver(c))
+		err := harness.RunAll(io.Discard, harness.Options{Quick: true, Jobs: 4})
+		sim.SetDefaultObserver(nil)
+		obs.SetActive(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h := c.Histogram("pool.task_latency_ns")
+		p50, p99 = h.Quantile(0.50), h.Quantile(0.99)
+	}
+	b.ReportMetric(p50, "task_p50_ns")
+	b.ReportMetric(p99, "task_p99_ns")
+}
+
 // ---- native-code micro-benchmarks: the real kernels on the host ----
 
 func BenchmarkKernelsNative(b *testing.B) {

@@ -24,9 +24,10 @@
 // run and all also take the telemetry flags: -trace-out FILE writes a
 // chrome://tracing JSON trace of the run, -report FILE writes a JSON
 // run manifest, -v streams live per-experiment progress to stderr,
-// and -pprof ADDR serves net/http/pprof. All telemetry is out-of-band
-// (stderr and files), so stdout stays byte-identical to a
-// telemetry-off run.
+// -progress renders periodic run telemetry (simulated-event rate, task
+// counts, task-latency p50/p99) to stderr, and -pprof ADDR serves
+// net/http/pprof. All telemetry is out-of-band (stderr and files), so
+// stdout stays byte-identical to a telemetry-off run.
 package main
 
 import (
@@ -42,6 +43,7 @@ import (
 	"os/signal"
 	"strconv"
 	"syscall"
+	"time"
 
 	"mobilehpc/internal/cluster"
 	"mobilehpc/internal/core"
@@ -133,16 +135,18 @@ run and all also accept the telemetry flags:
   -trace-out FILE   write a chrome://tracing JSON trace of the run
   -report FILE      write a JSON run manifest (wall times, counters, seeds)
   -v                live per-experiment progress on stderr
+  -progress         periodic run telemetry (event rate, task latency) on stderr
   -pprof ADDR       serve net/http/pprof on ADDR (e.g. localhost:6060)
 Telemetry is out-of-band (files/stderr); stdout stays byte-identical.`)
 }
 
-// telemetryFlags is the shared -trace-out/-report/-v/-pprof flag set
-// of the run and all subcommands.
+// telemetryFlags is the shared -trace-out/-report/-v/-progress/-pprof
+// flag set of the run and all subcommands.
 type telemetryFlags struct {
 	traceOut  *string
 	report    *string
 	verbose   *bool
+	progress  *bool
 	pprofAddr *string
 }
 
@@ -152,6 +156,7 @@ func addTelemetryFlags(fs *flag.FlagSet) *telemetryFlags {
 		traceOut:  fs.String("trace-out", "", "write a chrome://tracing JSON trace to this file"),
 		report:    fs.String("report", "", "write a JSON run manifest to this file"),
 		verbose:   fs.Bool("v", false, "live per-experiment progress on stderr"),
+		progress:  fs.Bool("progress", false, "periodic run telemetry (event rate, task latency quantiles) on stderr"),
 		pprofAddr: fs.String("pprof", "", "serve net/http/pprof on this address"),
 	}
 }
@@ -162,6 +167,8 @@ type telemetry struct {
 	c        *obs.Collector
 	traceOut string
 	report   string
+	stop     chan struct{} // closes to stop the -progress renderer
+	done     chan struct{} // the renderer closes this on exit
 }
 
 // startTelemetry wires up the run's observability: a collector when
@@ -178,7 +185,7 @@ func startTelemetry(tf *telemetryFlags, command string, jobs int, quick bool) *t
 			}
 		}()
 	}
-	if *tf.traceOut == "" && *tf.report == "" && !*tf.verbose {
+	if *tf.traceOut == "" && *tf.report == "" && !*tf.verbose && !*tf.progress {
 		return nil
 	}
 	c := obs.New()
@@ -191,7 +198,54 @@ func startTelemetry(tf *telemetryFlags, command string, jobs int, quick bool) *t
 	}
 	obs.SetActive(c)
 	sim.SetDefaultObserver(obs.NewSimObserver(c))
-	return &telemetry{c: c, traceOut: *tf.traceOut, report: *tf.report}
+	t := &telemetry{c: c, traceOut: *tf.traceOut, report: *tf.report}
+	if *tf.progress {
+		t.stop, t.done = make(chan struct{}), make(chan struct{})
+		go progressLoop(c, t.stop, t.done)
+	}
+	return t
+}
+
+// progressLoop renders one stream delta to stderr every half second
+// until stopped: simulated-event dispatch rate over the window,
+// cumulative pool tasks, and the live task-latency p50/p99 from the
+// pool.task_latency_ns histogram. Out-of-band by construction — it
+// writes only to stderr, so stdout stays byte-identical.
+func progressLoop(c *obs.Collector, stop, done chan struct{}) {
+	defer close(done)
+	stream := c.NewStream()
+	var tasks, events int64
+	emit := func(final bool) {
+		d := stream.Delta()
+		tasks += d.Counters["pool.tasks"]
+		events += d.Counters["sim.events.dispatched"]
+		var line string
+		if final {
+			line = fmt.Sprintf("mhpc: done t=%.2fs  %d sim events  tasks %d", d.WallSeconds, events, tasks)
+		} else {
+			line = fmt.Sprintf("mhpc: t=%5.1fs  %7.2fM events/s  tasks %d",
+				d.WallSeconds, float64(d.Counters["sim.events.dispatched"])/d.IntervalSeconds/1e6, tasks)
+		}
+		if hd, ok := d.Histograms["pool.task_latency_ns"]; ok {
+			line += fmt.Sprintf("  task p50 %v p99 %v",
+				time.Duration(hd.P50).Round(10*time.Microsecond),
+				time.Duration(hd.P99).Round(10*time.Microsecond))
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+	tick := time.NewTicker(500 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			// Always leave a closing summary — short runs (quick registry
+			// in well under a tick) would otherwise print nothing.
+			emit(true)
+			return
+		case <-tick.C:
+			emit(false)
+		}
+	}
 }
 
 // finish detaches the collector and writes the requested export
@@ -199,6 +253,10 @@ func startTelemetry(tf *telemetryFlags, command string, jobs int, quick bool) *t
 func (t *telemetry) finish() error {
 	if t == nil {
 		return nil
+	}
+	if t.stop != nil {
+		close(t.stop)
+		<-t.done
 	}
 	sim.SetDefaultObserver(nil)
 	obs.SetActive(nil)

@@ -5,16 +5,26 @@
 // Usage:
 //
 //	mhpcd [-addr :8080] [-j N] [-concurrency N] [-queue N]
-//	      [-timeout D] [-cache N] [-drain D]
+//	      [-timeout D] [-cache N] [-job-history N] [-drain D]
 //
 // Endpoints:
 //
-//	GET  /experiments    list experiment ids, titles, paper artefacts
-//	POST /run/{id}       run one experiment; options quick/csv/seed as
-//	                     query parameters or a JSON body
-//	GET  /result/{key}   re-fetch a cached result by its content key
-//	GET  /healthz        "ok", or 503 once draining
-//	GET  /metrics        sorted "name value" counter/gauge lines
+//	GET    /experiments      list experiment ids, titles, paper artefacts
+//	POST   /run/{id}         submit one experiment as an async job (202 +
+//	                         job envelope); options quick/csv/seed as
+//	                         query parameters or a JSON body; ?wait=1
+//	                         blocks and answers with the result instead
+//	GET    /job/{job}        job lifecycle state; done jobs carry the
+//	                         result_key into /result/{key}
+//	GET    /job/{job}/events SSE progress stream (mhpc-job-event/v1):
+//	                         telemetry deltas every ?interval (default
+//	                         200ms), then the final table and status
+//	DELETE /job/{job}        cancel a job mid-run (abort-flag plumbing)
+//	GET    /result/{key}     re-fetch a cached result by its content key
+//	GET    /healthz          "ok", or 503 once draining
+//	GET    /metrics          Prometheus text exposition (histograms
+//	                         included); ?format=plain for the legacy
+//	                         sorted "name value" lines
 //
 // Results are content-addressed: the response key is a hash of
 // (id, seed, quick, csv), identical requests hit the in-memory cache,
@@ -44,6 +54,7 @@ import (
 
 	"mobilehpc/internal/core"
 	"mobilehpc/internal/obs"
+	"mobilehpc/internal/sim"
 )
 
 func main() {
@@ -64,6 +75,7 @@ func serve(args []string) error {
 	queue := fs.Int("queue", 8, "additional runs allowed to wait for a slot (0 = reject when busy)")
 	timeout := fs.Duration("timeout", 60*time.Second, "per-run wall clock bound")
 	cacheSize := fs.Int("cache", 128, "results kept in the in-memory cache (0 disables caching)")
+	jobHistory := fs.Int("job-history", 256, "finished job records kept for /job lookups")
 	drain := fs.Duration("drain", 10*time.Second, "grace period for in-flight runs on shutdown")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,6 +88,7 @@ func serve(args []string) error {
 		core.PositiveInt("concurrency", *concurrency),
 		core.NonNegativeInt("queue", *queue),
 		core.NonNegativeInt("cache", *cacheSize),
+		core.PositiveInt("job-history", *jobHistory),
 		core.PositiveFloat("timeout", timeout.Seconds()),
 		core.PositiveFloat("drain", drain.Seconds()),
 	); err != nil {
@@ -88,11 +101,15 @@ func serve(args []string) error {
 		queue:       *queue,
 		timeout:     *timeout,
 		cacheSize:   *cacheSize,
+		jobHistory:  *jobHistory,
 	})
 	// Publish the collector process-wide so /metrics sees the same
-	// counters the harness substrate feeds.
+	// counters the harness substrate feeds, and attach the sim observer
+	// so engine event rates (sim.events.*) flow into the stream deltas.
 	obs.SetActive(s.col)
 	defer obs.SetActive(nil)
+	sim.SetDefaultObserver(obs.NewSimObserver(s.col))
+	defer sim.SetDefaultObserver(nil)
 
 	srv := &http.Server{Addr: *addr, Handler: s.handler()}
 	errc := make(chan error, 1)

@@ -23,6 +23,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -81,6 +82,7 @@ type serverConfig struct {
 	queue       int           // additional runs allowed to wait
 	timeout     time.Duration // per-run wall clock bound
 	cacheSize   int           // cached results kept (FIFO); 0 disables
+	jobHistory  int           // job records kept (FIFO over finished jobs); 0 = default
 	runFn       func(ctx context.Context, p runParams) ([]byte, error)
 }
 
@@ -98,15 +100,21 @@ type server struct {
 	baseCtx   context.Context
 	abortRuns context.CancelFunc
 
-	mu     sync.Mutex
-	cache  map[string]runResult
-	order  []string // cache keys, oldest first (FIFO eviction)
-	flight map[string]*call
+	mu       sync.Mutex
+	cache    map[string]runResult
+	order    []string // cache keys, oldest first (FIFO eviction)
+	flight   map[string]*call
+	jobs     map[string]*job
+	jobOrder []string // job ids, oldest first (FIFO eviction of finished jobs)
+	jobSeq   int64
 }
 
 // newServer wires a server from cfg; a nil cfg.runFn gets the real
 // registry runner.
 func newServer(cfg serverConfig) *server {
+	if cfg.jobHistory <= 0 {
+		cfg.jobHistory = 256
+	}
 	s := &server{
 		cfg:     cfg,
 		col:     obs.New(),
@@ -114,6 +122,7 @@ func newServer(cfg serverConfig) *server {
 		waiting: make(chan struct{}, cfg.concurrency+cfg.queue),
 		cache:   map[string]runResult{},
 		flight:  map[string]*call{},
+		jobs:    map[string]*job{},
 	}
 	s.baseCtx, s.abortRuns = context.WithCancel(context.Background())
 	if s.cfg.runFn == nil {
@@ -146,15 +155,37 @@ func runExperimentBytes(ctx context.Context, p runParams, jobs int) ([]byte, err
 	return buf.Bytes(), nil
 }
 
-// handler builds the route table (Go 1.22 method/path patterns).
+// handler builds the route table (Go 1.22 method/path patterns) and
+// wraps it in the request-latency middleware.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /experiments", s.handleExperiments)
 	mux.HandleFunc("POST /run/{id}", s.handleRun)
 	mux.HandleFunc("GET /result/{key}", s.handleResult)
+	mux.HandleFunc("GET /job/{job}", s.handleJob)
+	mux.HandleFunc("GET /job/{job}/events", s.handleJobEvents)
+	mux.HandleFunc("DELETE /job/{job}", s.handleJobCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	return s.instrument(mux)
+}
+
+// instrument observes every request's wall latency into the
+// serve.request_latency_ns histogram (surfaced by /metrics and the
+// stream deltas). SSE streams are exempt: their duration is the
+// connection lifetime, not a request latency, and folding them in
+// would swamp the upper buckets.
+func (s *server) instrument(h http.Handler) http.Handler {
+	lat := s.col.Histogram("serve.request_latency_ns")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/events") {
+			h.ServeHTTP(w, r)
+			return
+		}
+		t0 := time.Now()
+		h.ServeHTTP(w, r)
+		lat.Observe(time.Since(t0).Nanoseconds())
+	})
 }
 
 // counter is sugar over the collector (nil-safe by obs contract).
@@ -187,19 +218,31 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// handleMetrics serves the collector in Prometheus text exposition
+// format (counters as _total, gauges as level + _max, histograms as
+// cumulative _bucket/_sum/_count families). ?format=plain keeps the
+// original sorted "name value" lines for pre-existing scrapers.
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	vals := s.col.Counters()
-	for k, v := range s.col.Gauges() {
-		vals[k] = v
-	}
-	names := make([]string, 0, len(vals))
-	for k := range vals {
-		names = append(names, k)
-	}
-	sort.Strings(names)
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	for _, k := range names {
-		fmt.Fprintf(w, "%s %d\n", k, vals[k])
+	switch f := r.URL.Query().Get("format"); f {
+	case "", "prometheus":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.col.WritePrometheus(w)
+	case "plain":
+		vals := s.col.Counters()
+		for k, v := range s.col.Gauges() {
+			vals[k] = v
+		}
+		names := make([]string, 0, len(vals))
+		for k := range vals {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, k := range names {
+			fmt.Fprintf(w, "%s %d\n", k, vals[k])
+		}
+	default:
+		http.Error(w, fmt.Sprintf("unknown format=%q: want prometheus or plain", f), http.StatusBadRequest)
 	}
 }
 
@@ -218,6 +261,11 @@ func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
+// handleRun serves POST /run/{id}. The default is asynchronous: the
+// run is registered as a job and a 202 with the job envelope (status
+// and events URLs) returns immediately. ?wait=1 selects the original
+// synchronous path — block through cache/singleflight/admission and
+// answer with the result envelope.
 func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.counter("serve.requests").Add(1)
 	if s.draining.Load() {
@@ -229,12 +277,29 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
 	}
+	wait := false
+	if v := r.URL.Query().Get("wait"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("invalid wait=%q: want a boolean", v), http.StatusBadRequest)
+			return
+		}
+		wait = b
+	}
 	p, err := parseRunParams(id, r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	key := p.key()
+
+	if !wait {
+		j := s.newJob(p, key)
+		s.counter("serve.jobs").Add(1)
+		go s.executeJob(j)
+		writeJSON(w, http.StatusAccepted, j.status())
+		return
+	}
 
 	s.mu.Lock()
 	if res, ok := s.cache[key]; ok {

@@ -29,11 +29,16 @@ func echoRun(ctx context.Context, p runParams) ([]byte, error) {
 	return []byte(fmt.Sprintf("run %s seed=%d quick=%v csv=%v", p.ID, p.Seed, p.Quick, p.CSV)), nil
 }
 
-// postRun issues POST /run/{id}+query and returns status and decoded
-// body (or raw text for non-200s).
+// postRun issues a synchronous POST /run/{id}+query (wait=1 — the
+// async job path has its own tests in jobs_test.go) and returns status
+// and decoded body (or raw text for non-200s).
 func postRun(t *testing.T, ts *httptest.Server, path string) (int, runResult, string) {
 	t.Helper()
-	resp, err := http.Post(ts.URL+path, "application/json", nil)
+	sep := "?"
+	if strings.Contains(path, "?") {
+		sep = "&"
+	}
+	resp, err := http.Post(ts.URL+path+sep+"wait=1", "application/json", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,10 +56,11 @@ func postRun(t *testing.T, ts *httptest.Server, path string) (int, runResult, st
 	return resp.StatusCode, res, string(raw)
 }
 
-// metric fetches one value from /metrics (0 when absent).
+// metric fetches one value from the plain-format /metrics (0 when
+// absent).
 func metric(t *testing.T, ts *httptest.Server, name string) int64 {
 	t.Helper()
-	resp, err := http.Get(ts.URL + "/metrics")
+	resp, err := http.Get(ts.URL + "/metrics?format=plain")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -75,15 +75,17 @@ func TestServeSmoke(t *testing.T) {
 		time.Sleep(50 * time.Millisecond)
 	}
 
-	// Uncached run, then a cached replay of the same request.
-	first := postJSON(t, base+"/run/table1?quick=1&seed=1")
+	// Uncached run, then a cached replay of the same request (both on
+	// the synchronous wait=1 path; the async job plane has its own
+	// smoke in stream_smoke_test.go).
+	first := postJSON(t, base+"/run/table1?quick=1&seed=1&wait=1")
 	if first.Cached {
 		t.Error("first run reported cached")
 	}
 	if first.Output == "" {
 		t.Error("first run returned empty output")
 	}
-	again := postJSON(t, base+"/run/table1?quick=1&seed=1")
+	again := postJSON(t, base+"/run/table1?quick=1&seed=1&wait=1")
 	if !again.Cached || again.Output != first.Output {
 		t.Errorf("replay: cached=%v, identical=%v; want a byte-identical cache hit",
 			again.Cached, again.Output == first.Output)
@@ -94,13 +96,13 @@ func TestServeSmoke(t *testing.T) {
 	slowDone := make(chan struct{})
 	go func() {
 		defer close(slowDone)
-		resp, err := http.Post(base+"/run/fig6?seed=9", "application/json", nil)
+		resp, err := http.Post(base+"/run/fig6?seed=9&wait=1", "application/json", nil)
 		if err == nil {
 			resp.Body.Close()
 		}
 	}()
 	waitInflight(t, base, deadline)
-	resp, err := http.Post(base+"/run/table3?quick=1", "application/json", nil)
+	resp, err := http.Post(base+"/run/table3?quick=1&wait=1", "application/json", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +157,7 @@ func postJSON(t *testing.T, url string) runResult {
 func waitInflight(t *testing.T, base string, deadline time.Time) {
 	t.Helper()
 	for {
-		resp, err := http.Get(base + "/metrics")
+		resp, err := http.Get(base + "/metrics?format=plain")
 		if err == nil {
 			raw, _ := io.ReadAll(resp.Body)
 			resp.Body.Close()

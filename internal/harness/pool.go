@@ -34,6 +34,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"mobilehpc/internal/obs"
 	"mobilehpc/internal/sim"
@@ -118,6 +119,9 @@ func parmapErr[T any](cat string, name func(i int) string, jobs, n int, task fun
 		parent := ob.CurrentSpan()
 		queued, active := ob.Gauge("pool.queued"), ob.Gauge("pool.active")
 		tasks := ob.Counter("pool.tasks")
+		// Per-task wall latency feeds the live p50/p95/p99 surfaces
+		// (stream deltas, /metrics, the run manifest's summaries).
+		latency := ob.Histogram("pool.task_latency_ns")
 		queued.Add(int64(n))
 		inner := run
 		run = func(worker, i int) T {
@@ -125,8 +129,12 @@ func parmapErr[T any](cat string, name func(i int) string, jobs, n int, task fun
 			active.Add(1)
 			defer active.Add(-1)
 			tasks.Add(1)
+			t0 := time.Now()
 			sp := ob.StartWorkerSpan(name(i), cat, worker, parent)
-			defer sp.End()
+			defer func() {
+				sp.End()
+				latency.Observe(time.Since(t0).Nanoseconds())
+			}()
 			return inner(worker, i)
 		}
 	}

@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strings"
 
+	"mobilehpc/internal/obs"
 	"mobilehpc/internal/sim"
 )
 
@@ -27,13 +28,17 @@ type Table struct {
 	Rows    [][]string
 }
 
-// AddRow appends a row of already-formatted cells.
+// AddRow appends a row of already-formatted cells. When telemetry is
+// active, each appended row bumps the harness.table_rows counter — the
+// live "partial table" progress signal a stream consumer (SSE, mhpc
+// -progress) sees while an experiment is still computing.
 func (t *Table) AddRow(cells ...string) {
 	if len(cells) != len(t.Columns) {
 		panic(fmt.Sprintf("harness: row has %d cells, table %q has %d columns",
 			len(cells), t.ID, len(t.Columns)))
 	}
 	t.Rows = append(t.Rows, cells)
+	obs.Active().Counter("harness.table_rows").Add(1)
 }
 
 // AddRowf appends a row formatting each value with its verb.

@@ -18,6 +18,7 @@ import (
 
 	"mobilehpc/internal/cluster"
 	"mobilehpc/internal/interconnect"
+	"mobilehpc/internal/obs"
 	"mobilehpc/internal/perf"
 	"mobilehpc/internal/sim"
 	"mobilehpc/internal/trace"
@@ -119,6 +120,12 @@ type Comm struct {
 	hostSyncQ []*sim.Queue
 	hostSyncN int
 	tracer    *trace.Trace
+
+	// xferBytes is the telemetry histogram of point-to-point message
+	// sizes (obs "mpi.transfer_bytes"), resolved once at communicator
+	// construction so the per-Send cost is one nil check when telemetry
+	// is off and one atomic observe when it is on.
+	xferBytes *obs.Histogram
 }
 
 // Size returns the number of ranks.
@@ -166,7 +173,8 @@ func runCommon(cl *cluster.Cluster, n int, prog func(r *Rank), tr *trace.Trace) 
 		panic(fmt.Sprintf("mpi: %d ranks on %d-node cluster", n, cl.Size()))
 	}
 	comm := &Comm{Cl: cl, ranks: make([]*Rank, n), tracer: tr,
-		pairBytes: make([]int64, n*n)}
+		pairBytes: make([]int64, n*n),
+		xferBytes: obs.Active().Histogram("mpi.transfer_bytes")}
 	for i := 0; i < n; i++ {
 		r := &Rank{id: i, comm: comm}
 		comm.ranks[i] = r
@@ -249,6 +257,7 @@ func (r *Rank) Send(dst, tag int, data any, bytes int) {
 	r.comm.BytesSent += int64(bytes)
 	r.comm.Msgs++
 	r.comm.pairBytes[r.id*r.Size()+dst] += int64(bytes)
+	r.comm.xferBytes.Observe(int64(bytes))
 	r.comm.ranks[dst].deliver(&Msg{Src: r.id, Tag: tag, Bytes: bytes, Data: data})
 }
 

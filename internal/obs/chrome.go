@@ -38,7 +38,8 @@ type chromeTrace struct {
 // covers the whole collection window; thread rows are goroutines
 // (named with the pool slot they served, when known).
 func (c *Collector) WriteChromeTrace(w io.Writer) error {
-	spans, _, _, _, meta, wall := c.snapshot()
+	snap := c.snapshot()
+	spans, meta, wall := snap.spans, snap.meta, snap.wall
 
 	us := func(d float64) float64 { return d }
 	dur := func(v float64) *float64 { return &v }

@@ -1,0 +1,167 @@
+package obs
+
+// Fixed-bucket latency/size histograms for the live observability
+// plane. The bucket layout is log-spaced powers of two — bucket i
+// holds observations in (2^(i-1), 2^i], bucket 0 holds v <= 1, and the
+// last bucket is the +Inf overflow — one layout shared by every
+// histogram so merges and stream deltas never have to reconcile bucket
+// boundaries. 2^0..2^38 spans 1ns..~275s for latencies recorded in
+// nanoseconds and 1B..256GiB for message sizes, the two families the
+// harness records (pool.task_latency_ns, serve.request_latency_ns,
+// mpi.transfer_bytes).
+//
+// Observe is three atomic adds and one bits.Len64 — safe from any
+// goroutine, cheap enough for the pool's per-task path — and all
+// methods are no-ops on a nil receiver, matching the Counter/Gauge
+// contract.
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// HistogramBuckets is the number of buckets in every histogram: bounds
+// 2^0 .. 2^(HistogramBuckets-2), then +Inf.
+const HistogramBuckets = 40
+
+// HistogramBound returns the inclusive upper bound of bucket i
+// (math.Inf(1) for the overflow bucket). Bounds are strictly
+// increasing in i.
+func HistogramBound(i int) float64 {
+	if i >= HistogramBuckets-1 {
+		return math.Inf(1)
+	}
+	return float64(int64(1) << i)
+}
+
+// Histogram is a fixed-bucket log2 histogram: atomic, mergeable, with
+// quantile extraction. The zero value is ready to use; a nil
+// *Histogram is a no-op.
+type Histogram struct {
+	counts [HistogramBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+}
+
+// bucketIndex maps an observation to its bucket: the smallest i with
+// v <= 2^i, clamped to the overflow bucket.
+func bucketIndex(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	i := bits.Len64(uint64(v - 1))
+	if i >= HistogramBuckets {
+		return HistogramBuckets - 1
+	}
+	return i
+}
+
+// Observe records one value. Negative values clamp into the first
+// bucket (and still count toward sum, so merges stay exact). No-op on
+// a nil receiver.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the total number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 on nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Merge adds other's observations into h. Both histograms share the
+// fixed bucket layout, so the merge is exact per bucket. Nil-safe on
+// either side.
+func (h *Histogram) Merge(other *Histogram) {
+	if h == nil || other == nil {
+		return
+	}
+	for i := range other.counts {
+		if n := other.counts[i].Load(); n != 0 {
+			h.counts[i].Add(n)
+		}
+	}
+	h.count.Add(other.count.Load())
+	h.sum.Add(other.sum.Load())
+}
+
+// HistogramCounts is one point-in-time copy of a histogram's
+// per-bucket (non-cumulative) counts.
+type HistogramCounts [HistogramBuckets]int64
+
+// Load copies the per-bucket counts plus count/sum. The copy is not a
+// single atomic snapshot — concurrent Observes may straddle it — but
+// every bucket value is itself exact, which is all the stream-delta
+// accounting needs (deltas of monotone values). Nil-safe (zeroes).
+func (h *Histogram) Load() (buckets HistogramCounts, count, sum int64) {
+	if h == nil {
+		return
+	}
+	// Read count first: it is incremented after the bucket, so the
+	// bucket sums are always >= the count we return and a delta
+	// consumer never sees a bucket increment without its observation.
+	count = h.count.Load()
+	sum = h.sum.Load()
+	for i := range h.counts {
+		buckets[i] = h.counts[i].Load()
+	}
+	return
+}
+
+// Quantile returns the q-quantile (0 < q <= 1) estimated by linear
+// interpolation inside the owning bucket, in the unit the histogram
+// was observed in. Returns 0 for an empty (or nil) histogram; the
+// overflow bucket reports its lower bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	buckets, count, _ := h.Load()
+	return buckets.Quantile(q, count)
+}
+
+// Quantile estimates the q-quantile over a counts snapshot with the
+// given total (callers that already hold a Load result avoid a second
+// pass). See Histogram.Quantile.
+func (c *HistogramCounts) Quantile(q float64, count int64) float64 {
+	if count <= 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(count)))
+	var cum int64
+	for i, n := range c {
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = HistogramBound(i - 1)
+			}
+			hi := HistogramBound(i)
+			if math.IsInf(hi, 1) {
+				return lo
+			}
+			frac := float64(rank-cum) / float64(n)
+			return lo + frac*(hi-lo)
+		}
+		cum += n
+	}
+	return HistogramBound(HistogramBuckets - 2)
+}

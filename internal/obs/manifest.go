@@ -30,46 +30,82 @@ type ManifestSeed struct {
 	Seed  uint64 `json:"seed"`
 }
 
+// ManifestBucket is one non-empty histogram bucket in a manifest
+// summary: the inclusive upper bound and the (non-cumulative) count of
+// observations in the bucket. Buckets are listed with strictly
+// increasing bounds; the +Inf overflow is carried as "overflow".
+type ManifestBucket struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// ManifestHistogram is one histogram's summary in the v2 manifest.
+// Invariants (validated by cmd/jsoncheck): bucket bounds strictly
+// increase, every bucket count is positive, and count equals the sum
+// of bucket counts plus the overflow.
+type ManifestHistogram struct {
+	Count    int64            `json:"count"`
+	Sum      int64            `json:"sum"`
+	P50      float64          `json:"p50"`
+	P95      float64          `json:"p95"`
+	P99      float64          `json:"p99"`
+	Buckets  []ManifestBucket `json:"buckets"`
+	Overflow int64            `json:"overflow,omitempty"`
+}
+
 // Manifest is the exported run summary.
 type Manifest struct {
-	Schema      string               `json:"schema"`
-	GoVersion   string               `json:"go_version"`
-	OS          string               `json:"os"`
-	Arch        string               `json:"arch"`
-	Meta        map[string]string    `json:"meta"`
-	WallSeconds float64              `json:"wall_seconds"`
-	Experiments []ManifestExperiment `json:"experiments"`
-	Counters    map[string]int64     `json:"counters"`
-	Gauges      map[string]int64     `json:"gauges"`
-	Seeds       []ManifestSeed       `json:"seeds"`
-	SpanCount   int                  `json:"span_count"`
+	Schema      string                       `json:"schema"`
+	GoVersion   string                       `json:"go_version"`
+	OS          string                       `json:"os"`
+	Arch        string                       `json:"arch"`
+	Meta        map[string]string            `json:"meta"`
+	WallSeconds float64                      `json:"wall_seconds"`
+	Experiments []ManifestExperiment         `json:"experiments"`
+	Counters    map[string]int64             `json:"counters"`
+	Gauges      map[string]int64             `json:"gauges"`
+	Histograms  map[string]ManifestHistogram `json:"histograms,omitempty"`
+	Seeds       []ManifestSeed               `json:"seeds"`
+	SpanCount   int                          `json:"span_count"`
 }
 
 // ManifestSchema identifies the manifest layout; bump on breaking
-// changes so downstream tooling can dispatch.
-const ManifestSchema = "mhpc-run-manifest/v1"
+// changes so downstream tooling can dispatch. v2 added the histogram
+// summaries (latency/size distributions with p50/p95/p99).
+const ManifestSchema = "mhpc-run-manifest/v2"
+
+// ManifestSchemas lists every manifest layout this toolchain can read,
+// oldest first — cmd/jsoncheck validates the "schema" field of run
+// manifests against this list (its -schema flag prints it).
+var ManifestSchemas = []string{"mhpc-run-manifest/v1", "mhpc-run-manifest/v2"}
 
 // BuildManifest assembles the manifest from the collector's current
 // state. Safe to call while the run is still in flight (it
 // snapshots), though normally called once at the end.
 func (c *Collector) BuildManifest() *Manifest {
-	spans, counters, gauges, seeds, meta, wall := c.snapshot()
+	snap := c.snapshot()
 	m := &Manifest{
 		Schema:      ManifestSchema,
 		GoVersion:   runtime.Version(),
 		OS:          runtime.GOOS,
 		Arch:        runtime.GOARCH,
-		Meta:        meta,
-		WallSeconds: wall.Seconds(),
-		Counters:    counters,
-		Gauges:      gauges,
-		SpanCount:   len(spans),
+		Meta:        snap.meta,
+		WallSeconds: snap.wall.Seconds(),
+		Counters:    snap.counters,
+		Gauges:      snap.gauges,
+		SpanCount:   len(snap.spans),
+	}
+	if len(snap.hists) > 0 {
+		m.Histograms = make(map[string]ManifestHistogram, len(snap.hists))
+		for name, h := range snap.hists {
+			m.Histograms[name] = summarizeHistogram(h)
+		}
 	}
 	children := map[int64]int{}
-	for _, s := range spans {
+	for _, s := range snap.spans {
 		children[s.Parent]++
 	}
-	for _, s := range spans {
+	for _, s := range snap.spans {
 		if s.Cat != "experiment" {
 			continue
 		}
@@ -83,11 +119,32 @@ func (c *Collector) BuildManifest() *Manifest {
 	sort.Slice(m.Experiments, func(i, j int) bool {
 		return m.Experiments[i].ID < m.Experiments[j].ID
 	})
-	for label, seed := range seeds {
+	for label, seed := range snap.seeds {
 		m.Seeds = append(m.Seeds, ManifestSeed{Label: label, Seed: seed})
 	}
 	sort.Slice(m.Seeds, func(i, j int) bool { return m.Seeds[i].Label < m.Seeds[j].Label })
 	return m
+}
+
+// summarizeHistogram reduces a histogram to its manifest form,
+// deriving the total from the bucket snapshot so the documented
+// invariant (count == sum of buckets + overflow) holds exactly even
+// when summarised mid-run.
+func summarizeHistogram(h *Histogram) ManifestHistogram {
+	buckets, _, sum := h.Load()
+	out := ManifestHistogram{Sum: sum}
+	for i := 0; i < HistogramBuckets-1; i++ {
+		if buckets[i] > 0 {
+			out.Buckets = append(out.Buckets, ManifestBucket{LE: HistogramBound(i), Count: buckets[i]})
+			out.Count += buckets[i]
+		}
+	}
+	out.Overflow = buckets[HistogramBuckets-1]
+	out.Count += out.Overflow
+	out.P50 = buckets.Quantile(0.50, out.Count)
+	out.P95 = buckets.Quantile(0.95, out.Count)
+	out.P99 = buckets.Quantile(0.99, out.Count)
+	return out
 }
 
 // WriteManifest writes the JSON run manifest to w.

@@ -149,12 +149,19 @@ func (g *Gauge) Current() int64 {
 type Collector struct {
 	start time.Time
 
+	// set is the scrape-path view of the metric families: sorted names
+	// with aligned handle slices, rebuilt (rarely) when a metric is
+	// created and read lock-free by the Range iterators, so a 1s
+	// /metrics scrape loop never contends with a hot run. See stream.go.
+	set atomic.Pointer[metricSet]
+
 	mu       sync.Mutex
 	nextID   int64
 	spans    []*Span
 	open     map[int64][]*Span // per-goroutine stack of open spans
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
 	seeds    map[string]uint64
 	meta     map[string]string
 	verbose  io.Writer
@@ -163,14 +170,17 @@ type Collector struct {
 
 // New returns an empty collector with its clock started now.
 func New() *Collector {
-	return &Collector{
+	c := &Collector{
 		start:    time.Now(),
 		open:     map[int64][]*Span{},
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
 		seeds:    map[string]uint64{},
 		meta:     map[string]string{},
 	}
+	c.set.Store(&metricSet{})
+	return c
 }
 
 // active is the process-wide collector consulted by the instrumented
@@ -238,6 +248,7 @@ func (c *Collector) Counter(name string) *Counter {
 	if ctr == nil {
 		ctr = &Counter{}
 		c.counters[name] = ctr
+		c.rebuildSetLocked()
 	}
 	return ctr
 }
@@ -254,8 +265,27 @@ func (c *Collector) Gauge(name string) *Gauge {
 	if g == nil {
 		g = &Gauge{}
 		c.gauges[name] = g
+		c.rebuildSetLocked()
 	}
 	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+// Returns nil (a no-op histogram) on a nil collector. All histograms
+// share the fixed log2 bucket layout (see histogram.go).
+func (c *Collector) Histogram(name string) *Histogram {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := c.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		c.hists[name] = h
+		c.rebuildSetLocked()
+	}
+	return h
 }
 
 // RecordSeed notes that a deterministic task seed was derived for the
@@ -369,16 +399,18 @@ func (s *Span) End() {
 
 // Counters returns a point-in-time copy of every counter's current
 // value. Safe during an active run — the mhpcd /metrics endpoint
-// serves this while experiments execute. Nil-safe (returns nil).
+// serves this while experiments execute — and lock-free: values are
+// read off the cached metric set, never under the collector mutex.
+// Nil-safe (returns nil). Scrape loops that want to avoid the map
+// allocation entirely should use RangeCounters.
 func (c *Collector) Counters() map[string]int64 {
 	if c == nil {
 		return nil
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make(map[string]int64, len(c.counters))
-	for k, v := range c.counters {
-		out[k] = v.Value()
+	set := c.set.Load()
+	out := make(map[string]int64, len(set.counterNames))
+	for i, name := range set.counterNames {
+		out[name] = set.counters[i].Value()
 	}
 	return out
 }
@@ -387,42 +419,58 @@ func (c *Collector) Counters() map[string]int64 {
 // under the gauge's own name, the high-watermark under "<name>.max".
 // Live values make the snapshot pollable (the mhpcd smoke gate waits
 // on serve.inflight reaching 1); watermarks preserve the peak after
-// the burst has passed. Nil-safe (returns nil).
+// the burst has passed. Lock-free, like Counters. Nil-safe (returns
+// nil).
 func (c *Collector) Gauges() map[string]int64 {
 	if c == nil {
 		return nil
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make(map[string]int64, 2*len(c.gauges))
-	for k, v := range c.gauges {
-		out[k] = v.Current()
-		out[k+".max"] = v.Max()
+	set := c.set.Load()
+	out := make(map[string]int64, 2*len(set.gaugeNames))
+	for i, name := range set.gaugeNames {
+		out[name] = set.gauges[i].Current()
+		out[name+".max"] = set.gauges[i].Max()
 	}
 	return out
 }
 
+// collectorSnap is one consistent copy of the collector state for the
+// exporters (Chrome trace, run manifest).
+type collectorSnap struct {
+	spans    []*Span
+	counters map[string]int64
+	gauges   map[string]int64 // watermarks
+	hists    map[string]*Histogram
+	seeds    map[string]uint64
+	meta     map[string]string
+	wall     time.Duration
+}
+
 // snapshot returns copies of the collector state for the exporters.
-func (c *Collector) snapshot() (spans []*Span, counters map[string]int64, gauges map[string]int64, seeds map[string]uint64, meta map[string]string, wall time.Duration) {
-	wall = time.Since(c.start)
+func (c *Collector) snapshot() collectorSnap {
+	s := collectorSnap{wall: time.Since(c.start)}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	spans = append(spans, c.spans...)
-	counters = make(map[string]int64, len(c.counters))
+	s.spans = append(s.spans, c.spans...)
+	s.counters = make(map[string]int64, len(c.counters))
 	for k, v := range c.counters {
-		counters[k] = v.Value()
+		s.counters[k] = v.Value()
 	}
-	gauges = make(map[string]int64, len(c.gauges))
+	s.gauges = make(map[string]int64, len(c.gauges))
 	for k, v := range c.gauges {
-		gauges[k] = v.Max()
+		s.gauges[k] = v.Max()
 	}
-	seeds = make(map[string]uint64, len(c.seeds))
+	s.hists = make(map[string]*Histogram, len(c.hists))
+	for k, v := range c.hists {
+		s.hists[k] = v
+	}
+	s.seeds = make(map[string]uint64, len(c.seeds))
 	for k, v := range c.seeds {
-		seeds[k] = v
+		s.seeds[k] = v
 	}
-	meta = make(map[string]string, len(c.meta))
+	s.meta = make(map[string]string, len(c.meta))
 	for k, v := range c.meta {
-		meta[k] = v
+		s.meta[k] = v
 	}
-	return
+	return s
 }

@@ -103,7 +103,7 @@ func TestSpanHierarchy(t *testing.T) {
 	if cur := c.CurrentSpan(); cur != nil {
 		t.Errorf("after outer.End, CurrentSpan = %v, want nil", cur)
 	}
-	spans, _, _, _, _, _ := c.snapshot()
+	spans := c.snapshot().spans
 	if len(spans) != 3 {
 		t.Errorf("recorded %d spans, want 3", len(spans))
 	}

@@ -1,0 +1,94 @@
+package obs
+
+// Prometheus text-exposition exporter (the 0.0.4 text format): every
+// counter becomes a `_total` counter family, every gauge a pair of
+// gauge families (level and `_max` watermark), and every histogram a
+// histogram family with cumulative `_bucket{le="..."}` samples plus
+// `_sum` and `_count` — what a stock Prometheus scrape of mhpcd's
+// /metrics ingests directly. Dotted internal names map to the
+// exposition alphabet by replacing every illegal rune with '_' under
+// an "mhpc_" prefix: serve.requests -> mhpc_serve_requests_total.
+//
+// The writer walks the lock-free metric set (see stream.go), so a
+// scrape never blocks a hot run.
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// PromName maps an internal dotted metric name onto the Prometheus
+// exposition alphabet: "mhpc_" + the name with every rune outside
+// [a-zA-Z0-9_] replaced by '_'.
+func PromName(name string) string {
+	out := []byte("mhpc_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// WritePrometheus renders the collector's counters, gauges, and
+// histograms as Prometheus text exposition on w. Families are emitted
+// in a stable order (counters, gauges, histograms; names ascending),
+// each preceded by its # HELP and # TYPE lines. Nil-safe (writes
+// nothing).
+func (c *Collector) WritePrometheus(w io.Writer) error {
+	if c == nil {
+		return nil
+	}
+	var err error
+	emit := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	c.RangeCounters(func(name string, v int64) {
+		fam := PromName(name) + "_total"
+		emit("# HELP %s mobilehpc counter %s\n# TYPE %s counter\n%s %d\n", fam, name, fam, fam, v)
+	})
+	c.RangeGauges(func(name string, cur, max int64) {
+		fam := PromName(name)
+		emit("# HELP %s mobilehpc gauge %s\n# TYPE %s gauge\n%s %d\n", fam, name, fam, fam, cur)
+		emit("# HELP %s_max mobilehpc gauge %s high-watermark\n# TYPE %s_max gauge\n%s_max %d\n",
+			fam, name, fam, fam, max)
+	})
+	c.RangeHistograms(func(name string, h *Histogram) {
+		fam := PromName(name)
+		buckets, _, sum := h.Load()
+		emit("# HELP %s mobilehpc histogram %s\n# TYPE %s histogram\n", fam, name, fam)
+		// Cumulative buckets up to the highest occupied finite bound.
+		// The family total is derived from the same bucket snapshot (not
+		// the separate count atomic) so the cumulative sequence and the
+		// closing +Inf/_count samples are monotone even mid-run.
+		top := -1
+		var total int64
+		for i := 0; i < HistogramBuckets; i++ {
+			total += buckets[i]
+			if i < HistogramBuckets-1 && buckets[i] != 0 {
+				top = i
+			}
+		}
+		var cum int64
+		for i := 0; i <= top; i++ {
+			cum += buckets[i]
+			emit("%s_bucket{le=%q} %d\n", fam, formatLE(HistogramBound(i)), cum)
+		}
+		emit("%s_bucket{le=\"+Inf\"} %d\n", fam, total)
+		emit("%s_sum %d\n%s_count %d\n", fam, sum, fam, total)
+	})
+	return err
+}
+
+// formatLE renders a finite bucket bound the way Prometheus clients
+// conventionally do (shortest float representation).
+func formatLE(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

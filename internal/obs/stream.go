@@ -1,0 +1,288 @@
+package obs
+
+// The streaming half of the observability plane: a lock-free sorted
+// view of the metric families for scrape loops, and the Stream/Delta
+// API that produces cheap periodic telemetry deltas — counter
+// increments, changed gauges, per-bucket histogram increments, and the
+// open-span tree — without stopping the collector. mhpcd's /metrics
+// endpoint and per-job SSE streams, and the mhpc -progress renderer,
+// are all built on these two pieces.
+//
+// The delta accounting is exact: every counter/histogram delta is the
+// difference of two monotone reads, so a consumer that sums a stream's
+// deltas ends with the collector's final totals regardless of how
+// often it polled. That invariant is what lets the streaming path join
+// the byte-identity wall (see cmd/mhpcd's SSE determinism test).
+
+import (
+	"sort"
+	"time"
+)
+
+// metricSet is the scrape-path view of the metric families: names
+// sorted ascending, handles aligned by index. It is immutable once
+// published — Collector.rebuildSetLocked installs a fresh copy when a
+// metric is created (rare), and readers load it with one atomic
+// pointer read — so iteration needs no lock and allocates nothing.
+type metricSet struct {
+	counterNames []string
+	counters     []*Counter
+	gaugeNames   []string
+	gauges       []*Gauge
+	histNames    []string
+	hists        []*Histogram
+}
+
+// rebuildSetLocked publishes a fresh sorted metric set. Callers hold
+// c.mu; cost is O(n log n) in the number of metrics, paid only on
+// metric creation.
+func (c *Collector) rebuildSetLocked() {
+	set := &metricSet{
+		counterNames: make([]string, 0, len(c.counters)),
+		counters:     make([]*Counter, 0, len(c.counters)),
+		gaugeNames:   make([]string, 0, len(c.gauges)),
+		gauges:       make([]*Gauge, 0, len(c.gauges)),
+		histNames:    make([]string, 0, len(c.hists)),
+		hists:        make([]*Histogram, 0, len(c.hists)),
+	}
+	for name := range c.counters {
+		set.counterNames = append(set.counterNames, name)
+	}
+	sort.Strings(set.counterNames)
+	for _, name := range set.counterNames {
+		set.counters = append(set.counters, c.counters[name])
+	}
+	for name := range c.gauges {
+		set.gaugeNames = append(set.gaugeNames, name)
+	}
+	sort.Strings(set.gaugeNames)
+	for _, name := range set.gaugeNames {
+		set.gauges = append(set.gauges, c.gauges[name])
+	}
+	for name := range c.hists {
+		set.histNames = append(set.histNames, name)
+	}
+	sort.Strings(set.histNames)
+	for _, name := range set.histNames {
+		set.hists = append(set.hists, c.hists[name])
+	}
+	c.set.Store(set)
+}
+
+// RangeCounters calls f for every counter in ascending name order with
+// its current value. Lock-free and allocation-free: a 1s scrape loop
+// costs the hot run nothing beyond the atomic value loads. Nil-safe.
+func (c *Collector) RangeCounters(f func(name string, v int64)) {
+	if c == nil {
+		return
+	}
+	set := c.set.Load()
+	for i, name := range set.counterNames {
+		f(name, set.counters[i].Value())
+	}
+}
+
+// RangeGauges calls f for every gauge in ascending name order with its
+// current level and high-watermark. Lock-free and allocation-free.
+// Nil-safe.
+func (c *Collector) RangeGauges(f func(name string, cur, max int64)) {
+	if c == nil {
+		return
+	}
+	set := c.set.Load()
+	for i, name := range set.gaugeNames {
+		f(name, set.gauges[i].Current(), set.gauges[i].Max())
+	}
+}
+
+// RangeHistograms calls f for every histogram in ascending name order.
+// Lock-free and allocation-free. Nil-safe.
+func (c *Collector) RangeHistograms(f func(name string, h *Histogram)) {
+	if c == nil {
+		return
+	}
+	set := c.set.Load()
+	for i, name := range set.histNames {
+		f(name, set.hists[i])
+	}
+}
+
+// OpenSpan is one span still in flight at snapshot time — an entry of
+// the open-span tree a stream delta carries. Parent links reconstruct
+// the tree (0 = the implicit run root).
+type OpenSpan struct {
+	ID         int64   `json:"id"`
+	Parent     int64   `json:"parent"`
+	Name       string  `json:"name"`
+	Cat        string  `json:"cat"`
+	Worker     int     `json:"worker"`
+	AgeSeconds float64 `json:"age_seconds"`
+}
+
+// BucketDelta is one histogram bucket's increment within a delta
+// window. LE is the bucket's inclusive upper bound; the +Inf overflow
+// bucket is carried separately (HistogramDelta.Overflow) because JSON
+// has no infinity literal.
+type BucketDelta struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// HistogramDelta is one histogram's change within a delta window:
+// exact per-bucket and count/sum increments, plus the cumulative
+// quantiles at window close (informational — quantiles depend on when
+// you look, the increments do not).
+type HistogramDelta struct {
+	Count    int64         `json:"count"`
+	Sum      int64         `json:"sum"`
+	Buckets  []BucketDelta `json:"buckets,omitempty"` // non-cumulative, ascending LE, overflow omitted
+	Overflow int64         `json:"overflow,omitempty"`
+	P50      float64       `json:"p50"`
+	P95      float64       `json:"p95"`
+	P99      float64       `json:"p99"`
+}
+
+// StreamDelta is one periodic telemetry delta. Counter values are
+// increments since the previous delta; gauges are absolute (current
+// level, with the watermark under "<name>.max"); histograms carry
+// exact increments plus display quantiles. Maps marshal in key order,
+// so a delta's JSON is deterministic given its contents.
+type StreamDelta struct {
+	Seq             int64                     `json:"seq"`
+	WallSeconds     float64                   `json:"wall_seconds"`
+	IntervalSeconds float64                   `json:"interval_seconds"`
+	Counters        map[string]int64          `json:"counters,omitempty"`
+	Gauges          map[string]int64          `json:"gauges,omitempty"`
+	Histograms      map[string]HistogramDelta `json:"histograms,omitempty"`
+	OpenSpans       []OpenSpan                `json:"open_spans,omitempty"`
+}
+
+// histPrev is a stream's memory of one histogram.
+type histPrev struct {
+	buckets    HistogramCounts
+	count, sum int64
+}
+
+// Stream produces successive deltas of one collector's telemetry. Not
+// safe for concurrent use — each consumer (one SSE subscriber, one
+// progress renderer) owns its stream; the underlying collector reads
+// are the same lock-free paths the Range iterators use, so concurrent
+// streams never contend with each other or with the run.
+type Stream struct {
+	c         *Collector
+	seq       int64
+	last      time.Duration
+	prevCtr   map[*Counter]int64
+	prevGauge map[*Gauge][2]int64
+	prevHist  map[*Histogram]*histPrev
+}
+
+// NewStream returns a delta stream over c starting from zero: the
+// first Delta reports everything accumulated so far. Nil-safe (a nil
+// collector yields a nil stream whose Delta returns nil).
+func (c *Collector) NewStream() *Stream {
+	if c == nil {
+		return nil
+	}
+	return &Stream{
+		c:         c,
+		prevCtr:   map[*Counter]int64{},
+		prevGauge: map[*Gauge][2]int64{},
+		prevHist:  map[*Histogram]*histPrev{},
+	}
+}
+
+// Delta returns the telemetry change since the previous Delta (or
+// since the stream's creation). Unchanged metrics are omitted; an
+// all-quiet window still returns a delta (with seq/wall advancing) so
+// consumers can use it as a heartbeat. Nil-safe (returns nil).
+func (s *Stream) Delta() *StreamDelta {
+	if s == nil {
+		return nil
+	}
+	now := time.Since(s.c.start)
+	s.seq++
+	d := &StreamDelta{
+		Seq:             s.seq,
+		WallSeconds:     now.Seconds(),
+		IntervalSeconds: (now - s.last).Seconds(),
+	}
+	s.last = now
+
+	set := s.c.set.Load()
+	for i, name := range set.counterNames {
+		h := set.counters[i]
+		cur := h.Value()
+		if inc := cur - s.prevCtr[h]; inc != 0 {
+			if d.Counters == nil {
+				d.Counters = map[string]int64{}
+			}
+			d.Counters[name] = inc
+			s.prevCtr[h] = cur
+		}
+	}
+	for i, name := range set.gaugeNames {
+		g := set.gauges[i]
+		cur, max := g.Current(), g.Max()
+		if prev, seen := s.prevGauge[g]; !seen || prev != [2]int64{cur, max} {
+			if d.Gauges == nil {
+				d.Gauges = map[string]int64{}
+			}
+			d.Gauges[name] = cur
+			d.Gauges[name+".max"] = max
+			s.prevGauge[g] = [2]int64{cur, max}
+		}
+	}
+	for i, name := range set.histNames {
+		h := set.hists[i]
+		prev := s.prevHist[h]
+		if prev == nil {
+			prev = &histPrev{}
+			s.prevHist[h] = prev
+		}
+		buckets, count, sum := h.Load()
+		if count == prev.count && sum == prev.sum {
+			continue
+		}
+		hd := HistogramDelta{
+			Count: count - prev.count,
+			Sum:   sum - prev.sum,
+			P50:   buckets.Quantile(0.50, count),
+			P95:   buckets.Quantile(0.95, count),
+			P99:   buckets.Quantile(0.99, count),
+		}
+		for b := 0; b < HistogramBuckets-1; b++ {
+			if inc := buckets[b] - prev.buckets[b]; inc != 0 {
+				hd.Buckets = append(hd.Buckets, BucketDelta{LE: HistogramBound(b), Count: inc})
+			}
+		}
+		hd.Overflow = buckets[HistogramBuckets-1] - prev.buckets[HistogramBuckets-1]
+		prev.buckets, prev.count, prev.sum = buckets, count, sum
+		if d.Histograms == nil {
+			d.Histograms = map[string]HistogramDelta{}
+		}
+		d.Histograms[name] = hd
+	}
+
+	d.OpenSpans = s.c.openSpans(now)
+	return d
+}
+
+// openSpans copies the in-flight span set under the collector mutex —
+// the one stream read that must synchronise with span bookkeeping.
+// Sorted by span ID (creation order), so the listing is stable.
+func (c *Collector) openSpans(now time.Duration) []OpenSpan {
+	c.mu.Lock()
+	var out []OpenSpan
+	for _, stack := range c.open {
+		for _, sp := range stack {
+			out = append(out, OpenSpan{
+				ID: sp.ID, Parent: sp.Parent, Name: sp.Name, Cat: sp.Cat,
+				Worker: sp.Worker, AgeSeconds: (now - sp.Start).Seconds(),
+			})
+		}
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,314 @@
+package obs
+
+// Tests for the streaming plane: histogram bucket math, the exactness
+// of stream deltas under concurrent load, the lock-free Range
+// iterators, and the Prometheus writer. The scrape benchmarks at the
+// bottom are the no-regression proof for moving /metrics onto the
+// iteration API.
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{-5, 0}, {0, 0}, {1, 0}, // clamp + bucket 0 is v <= 1
+		{2, 1}, {3, 2}, {4, 2}, {5, 3},
+		{1024, 10}, {1025, 11},
+		{1 << 38, 38},
+		{1<<38 + 1, 39}, // first overflow value
+		{1 << 62, 39},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.bucket {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+		h.Observe(c.v)
+	}
+	buckets, count, sum := h.Load()
+	if count != int64(len(cases)) {
+		t.Errorf("count = %d, want %d", count, len(cases))
+	}
+	var total, wantSum int64
+	for _, n := range buckets {
+		total += n
+	}
+	for _, c := range cases {
+		wantSum += c.v
+	}
+	if total != count {
+		t.Errorf("bucket sum %d != count %d", total, count)
+	}
+	if sum != wantSum {
+		t.Errorf("sum = %d, want %d", sum, wantSum)
+	}
+	for i := 1; i < HistogramBuckets; i++ {
+		if HistogramBound(i) <= HistogramBound(i-1) {
+			t.Fatalf("bounds not strictly increasing at %d", i)
+		}
+	}
+
+	var other Histogram
+	other.Observe(7)
+	other.Merge(&h)
+	if other.Count() != h.Count()+1 || other.Sum() != h.Sum()+7 {
+		t.Errorf("merge: count %d sum %d", other.Count(), other.Sum())
+	}
+
+	// Nil receivers are no-ops across the API.
+	var nilH *Histogram
+	nilH.Observe(1)
+	nilH.Merge(&h)
+	h.Merge(nilH)
+	if nilH.Count() != 0 || nilH.Sum() != 0 || nilH.Quantile(0.5) != 0 {
+		t.Error("nil histogram not inert")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+	// 100 observations of 100ns: every quantile interpolates inside the
+	// (64, 128] bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(100)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if got <= 64 || got > 128 {
+			t.Errorf("q=%v: %v outside the owning bucket (64, 128]", q, got)
+		}
+	}
+	if h.Quantile(0.99) <= h.Quantile(0.01) {
+		t.Error("quantiles not monotone within a bucket")
+	}
+	// Overflow observations report the last finite bound.
+	var o Histogram
+	o.Observe(1 << 60)
+	if got, want := o.Quantile(0.5), HistogramBound(HistogramBuckets-2); got != want {
+		t.Errorf("overflow quantile = %v, want the last finite bound %v", got, want)
+	}
+}
+
+// The delta invariant under fire: a writer hammering counters and a
+// histogram while a stream polls at arbitrary times must yield deltas
+// that sum exactly to the final totals.
+func TestStreamDeltasExactUnderConcurrency(t *testing.T) {
+	c := New()
+	ctr := c.Counter("work.items")
+	h := c.Histogram("work.latency_ns")
+	const writers, perWriter = 4, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				ctr.Add(1)
+				h.Observe(int64(i%4000 + w))
+			}
+		}(w)
+	}
+	s := c.NewStream()
+	var accCtr, accHistCount, accHistSum int64
+	accBuckets := HistogramCounts{}
+	drain := func() {
+		d := s.Delta()
+		accCtr += d.Counters["work.items"]
+		if hd, ok := d.Histograms["work.latency_ns"]; ok {
+			accHistCount += hd.Count
+			accHistSum += hd.Sum
+			for _, b := range hd.Buckets {
+				for i := 0; i < HistogramBuckets-1; i++ {
+					if HistogramBound(i) == b.LE {
+						accBuckets[i] += b.Count
+					}
+				}
+			}
+			accBuckets[HistogramBuckets-1] += hd.Overflow
+		}
+	}
+	for i := 0; i < 50; i++ {
+		drain()
+	}
+	wg.Wait()
+	drain() // the closing delta after quiescence
+
+	if want := int64(writers * perWriter); accCtr != want {
+		t.Errorf("accumulated counter %d, want %d", accCtr, want)
+	}
+	if accHistCount != h.Count() || accHistSum != h.Sum() {
+		t.Errorf("accumulated hist count/sum %d/%d, final %d/%d",
+			accHistCount, accHistSum, h.Count(), h.Sum())
+	}
+	final, _, _ := h.Load()
+	if accBuckets != final {
+		t.Errorf("accumulated buckets diverge from final state")
+	}
+}
+
+func TestStreamHeartbeatAndGauges(t *testing.T) {
+	c := New()
+	g := c.Gauge("depth")
+	g.Add(3)
+	s := c.NewStream()
+	d := s.Delta()
+	if d.Seq != 1 || d.Gauges["depth"] != 3 || d.Gauges["depth.max"] != 3 {
+		t.Fatalf("first delta: %+v", d)
+	}
+	// All quiet: still a delta (heartbeat), but no metric entries.
+	d = s.Delta()
+	if d.Seq != 2 || d.Counters != nil || d.Gauges != nil || d.Histograms != nil {
+		t.Errorf("quiet delta carried data: %+v", d)
+	}
+	// Open spans ride along.
+	sp := c.StartSpan("fig6", "experiment")
+	d = s.Delta()
+	if len(d.OpenSpans) != 1 || d.OpenSpans[0].Name != "fig6" {
+		t.Errorf("open spans: %+v", d.OpenSpans)
+	}
+	sp.End()
+
+	// Nil-safety.
+	var nilC *Collector
+	if nilC.NewStream().Delta() != nil {
+		t.Error("nil stream delta not nil")
+	}
+}
+
+func TestRangeIterators(t *testing.T) {
+	c := New()
+	for _, name := range []string{"b.x", "a.y", "c.z"} {
+		c.Counter(name).Add(1)
+		c.Gauge(name + ".g").Add(2)
+		c.Histogram(name + ".h").Observe(3)
+	}
+	var names []string
+	c.RangeCounters(func(name string, v int64) {
+		names = append(names, name)
+		if v != 1 {
+			t.Errorf("counter %s = %d", name, v)
+		}
+	})
+	if strings.Join(names, ",") != "a.y,b.x,c.z" {
+		t.Errorf("counters not sorted: %v", names)
+	}
+	hists := 0
+	c.RangeHistograms(func(name string, h *Histogram) {
+		hists++
+		if h.Count() != 1 {
+			t.Errorf("histogram %s count %d", name, h.Count())
+		}
+	})
+	if hists != 3 {
+		t.Errorf("ranged %d histograms, want 3", hists)
+	}
+	// Nil-safe.
+	var nilC *Collector
+	nilC.RangeCounters(func(string, int64) { t.Error("nil range called back") })
+	nilC.RangeGauges(func(string, int64, int64) { t.Error("nil range called back") })
+	nilC.RangeHistograms(func(string, *Histogram) { t.Error("nil range called back") })
+	if err := nilC.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	c := New()
+	c.Counter("serve.runs").Add(3)
+	c.Gauge("serve.inflight").Add(2)
+	h := c.Histogram("serve.request_latency_ns")
+	for _, v := range []int64{100, 200, 1 << 50} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := c.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE mhpc_serve_runs_total counter",
+		"mhpc_serve_runs_total 3",
+		"# TYPE mhpc_serve_inflight gauge",
+		"mhpc_serve_inflight 2",
+		"mhpc_serve_inflight_max 2",
+		"# TYPE mhpc_serve_request_latency_ns histogram",
+		`mhpc_serve_request_latency_ns_bucket{le="128"} 1`,
+		`mhpc_serve_request_latency_ns_bucket{le="256"} 2`,
+		`mhpc_serve_request_latency_ns_bucket{le="+Inf"} 3`,
+		"mhpc_serve_request_latency_ns_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if got := PromName("a.b-c/d"); got != "mhpc_a_b_c_d" {
+		t.Errorf("PromName = %q", got)
+	}
+	if !math.IsInf(HistogramBound(HistogramBuckets-1), 1) {
+		t.Error("last bound not +Inf")
+	}
+}
+
+// populate builds a collector shaped like a real serving process: a few
+// dozen counters and gauges plus a couple of histograms.
+func populate() *Collector {
+	c := New()
+	for i := 0; i < 32; i++ {
+		c.Counter("ctr." + string(rune('a'+i))).Add(int64(i))
+		c.Gauge("g." + string(rune('a'+i))).Add(int64(i))
+	}
+	c.Histogram("h.lat").Observe(100)
+	c.Histogram("h.size").Observe(1 << 20)
+	return c
+}
+
+// BenchmarkScrapeRange is the /metrics scrape path after the satellite
+// fix: lock-free, allocation-free iteration.
+func BenchmarkScrapeRange(b *testing.B) {
+	c := populate()
+	b.ReportAllocs()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		c.RangeCounters(func(name string, v int64) { sink += v })
+		c.RangeGauges(func(name string, cur, max int64) { sink += cur })
+	}
+	_ = sink
+}
+
+// BenchmarkScrapeMaps is the pre-fix path (allocate + sort maps per
+// scrape), kept as the comparison baseline.
+func BenchmarkScrapeMaps(b *testing.B) {
+	c := populate()
+	b.ReportAllocs()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		for _, v := range c.Counters() {
+			sink += v
+		}
+		for _, v := range c.Gauges() {
+			sink += v
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkHistogramObserve is the per-observation cost on the pool's
+// task path.
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
