@@ -6,16 +6,20 @@
 # smoke run that proves a fault-injected sweep is byte-identical across
 # -j and lands its injected events in the run manifest, and the serve
 # smoke run that boots the real mhpcd binary and exercises cache,
-# admission control, and SIGTERM drain over live HTTP, and the stream
+# admission control, and SIGTERM drain over live HTTP, the stream
 # smoke run that drives the async job plane — SSE telemetry deltas,
 # job cancellation, and the Prometheus /metrics exposition — against
-# the same real binary.
+# the same real binary, the store smoke run that kills and restarts
+# that binary on one -store-dir and requires every precomputed key to
+# survive as a cache hit with zero re-executions, and the load smoke
+# run that replays a zipf request mix through cmd/mhpcload against a
+# coalescing mhpcd and validates the resulting mhpc-load-report/v1.
 GO ?= go
 TMP ?= /tmp/mhpc-smoke
 
-.PHONY: check vet build test race bench bench-smoke bench-snapshot bench-diff telemetry-smoke faults-smoke serve-smoke stream-smoke
+.PHONY: check vet build test race bench bench-smoke bench-snapshot bench-diff telemetry-smoke faults-smoke serve-smoke stream-smoke store-smoke load-smoke
 
-check: vet build test race telemetry-smoke faults-smoke bench-smoke bench-diff serve-smoke stream-smoke
+check: vet build test race telemetry-smoke faults-smoke bench-smoke bench-diff serve-smoke stream-smoke store-smoke load-smoke
 
 vet:
 	$(GO) vet ./...
@@ -40,12 +44,12 @@ bench-smoke:
 		./internal/sim ./internal/interconnect
 
 # Perf trajectory snapshot: run the headline benches and record them in
-# BENCH_v6.json (schema mhpc-bench-snapshot/v1; format documented in
+# BENCH_v7.json (schema mhpc-bench-snapshot/v1; format documented in
 # DESIGN.md, Engine performance). The engine/interconnect micro-benches
 # and the obs scrape path get real benchtime; the multi-second macro
-# benches — including the task-latency quantile bench, whose
-# task_p50_ns/task_p99_ns custom metrics record the histogram plane's
-# view of the registry — run once.
+# benches — including the task-latency quantile bench and the serving
+# tier's cache-cold zipf mix, whose req/s custom metric records the
+# batched-vs-unbatched throughput gap — run a fixed few iterations.
 bench-snapshot:
 	rm -rf $(TMP)-bench && mkdir -p $(TMP)-bench
 	$(GO) test -run '^$$' -bench 'EngineThroughput|TransferChunked|EventDispatch|ProcSwitch' \
@@ -54,15 +58,18 @@ bench-snapshot:
 		>> $(TMP)-bench/out.txt
 	$(GO) test -run '^$$' -bench 'RunAllJobs|Green500HPL|PoolTaskLatency' -benchtime 1x -benchmem . \
 		>> $(TMP)-bench/out.txt
-	$(GO) run ./cmd/benchsnap -o BENCH_v6.json < $(TMP)-bench/out.txt
-	$(GO) run ./cmd/jsoncheck BENCH_v6.json
+	$(GO) test -run '^$$' -bench 'ServeZipfCold' -benchtime 3x -benchmem ./cmd/mhpcd \
+		>> $(TMP)-bench/out.txt
+	$(GO) run ./cmd/benchsnap -o BENCH_v7.json < $(TMP)-bench/out.txt
+	$(GO) run ./cmd/jsoncheck BENCH_v7.json
 
-# Perf regression gate over the committed snapshots: the v6 trajectory
-# must hold the line against v5 — no throughput metric (events/s,
-# chunks/s) down more than 10%, no steady-state bench newly allocating.
-# Pure file comparison, so it is deterministic on any machine.
+# Perf regression gate over the committed snapshots: the v7 trajectory
+# must hold the line against v6 — no throughput metric (events/s,
+# chunks/s, req/s) down more than 10%, no steady-state bench newly
+# allocating. Pure file comparison, so it is deterministic on any
+# machine.
 bench-diff:
-	$(GO) run ./cmd/benchdiff BENCH_v5.json BENCH_v6.json
+	$(GO) run ./cmd/benchdiff BENCH_v6.json BENCH_v7.json
 
 # End-to-end observability gate: run the full quick registry with every
 # telemetry exporter on, validate both JSON artefacts, and re-check
@@ -107,3 +114,21 @@ serve-smoke:
 # shares the collector with every running job.
 stream-smoke:
 	MHPC_STREAM_SMOKE=1 $(GO) test -race -run TestStreamSmoke -count=1 ./cmd/mhpcd
+
+# Durable-store gate: populate a disk-backed mhpcd, SIGTERM it,
+# restart on the same -store-dir, and require store.recovered to match,
+# every key to replay as a cache hit, and serve.runs to stay 0 in the
+# second life — the kill-and-restart proof that nothing re-executes.
+store-smoke:
+	MHPC_STORE_SMOKE=1 $(GO) test -race -run TestStoreSmoke -count=1 ./cmd/mhpcd
+
+# Load-replay gate: drive a coalescing (-batch-window 10ms) mhpcd with
+# cmd/mhpcload's seeded zipf mix — open-loop arrivals, a client-abandon
+# fraction — then require the emitted mhpc-load-report/v1 to pass both
+# the in-test invariants and jsoncheck's schema validation of the
+# exported artefact.
+load-smoke:
+	rm -rf $(TMP)-load && mkdir -p $(TMP)-load
+	MHPC_LOAD_SMOKE=1 MHPC_LOAD_REPORT_OUT=$(TMP)-load/report.json \
+		$(GO) test -race -run TestLoadSmoke -count=1 ./cmd/mhpcload
+	$(GO) run ./cmd/jsoncheck $(TMP)-load/report.json

@@ -224,7 +224,7 @@ func (s *server) executeJob(j *job) {
 	j.setRunning()
 
 	s.mu.Lock()
-	if _, ok := s.cache[j.key]; ok {
+	if _, ok := s.cacheGet(j.key); ok {
 		s.mu.Unlock()
 		s.counter("serve.cache_hits").Add(1)
 		j.complete(nil, true, false)
@@ -243,7 +243,7 @@ func (s *server) executeJob(j *job) {
 		}
 		return
 	}
-	data, err := s.admitAndRun(j.ctx, j.params)
+	data, err := s.execute(j.ctx, j.params)
 	s.finish(j.key, j.params, c, data, err)
 	j.complete(err, false, false)
 }
@@ -342,9 +342,7 @@ func (s *server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 			}
 			st := j.status()
 			if st.State == string(jobDone) {
-				s.mu.Lock()
-				res, ok := s.cache[j.key]
-				s.mu.Unlock()
+				res, ok := s.cachePeek(j.key)
 				if ok {
 					if !send("table", jobEvent{Table: res.Output}) {
 						return

@@ -105,7 +105,7 @@ func readSSE(br *bufio.Reader) (string, jobEvent, error) {
 }
 
 func TestJobLifecycle(t *testing.T) {
-	ts := httptest.NewServer(newServer(testConfig(echoRun)).handler())
+	ts := httptest.NewServer(mustServer(t, testConfig(echoRun)).handler())
 	defer ts.Close()
 
 	for _, probe := range []struct {
@@ -162,7 +162,7 @@ func TestJobCancelFastAndClean(t *testing.T) {
 		<-ctx.Done()
 		return nil, ctx.Err()
 	})
-	ts := httptest.NewServer(newServer(cfg).handler())
+	ts := httptest.NewServer(mustServer(t, cfg).handler())
 	defer ts.Close()
 	http.DefaultClient.CloseIdleConnections()
 	baseline := runtime.NumGoroutine()
@@ -218,7 +218,7 @@ func TestJobEventsStream(t *testing.T) {
 		}
 		return echoRun(ctx, p)
 	})
-	ts := httptest.NewServer(newServer(cfg).handler())
+	ts := httptest.NewServer(mustServer(t, cfg).handler())
 	defer ts.Close()
 
 	st := postJob(t, ts, "/run/fig6?quick=1")
@@ -314,7 +314,7 @@ func TestSSEStreamDeterminism(t *testing.T) {
 		output     string
 	}
 	collect := func(interval string) totals {
-		s := newServer(serverConfig{jobs: 2, concurrency: 1, queue: 1, timeout: 2 * time.Minute, cacheSize: 4})
+		s := mustServer(t, serverConfig{jobs: 2, concurrency: 1, queue: 1, timeout: 2 * time.Minute, cacheBytes: 1 << 20})
 		obs.SetActive(s.col)
 		sim.SetDefaultObserver(obs.NewSimObserver(s.col))
 		defer func() {
@@ -417,7 +417,7 @@ func TestSSEStreamDeterminism(t *testing.T) {
 // monotone with ascending le, +Inf equal to _count, and at least one
 // bucket-bearing family present.
 func TestMetricsPrometheusFormat(t *testing.T) {
-	s := newServer(testConfig(echoRun))
+	s := mustServer(t, testConfig(echoRun))
 	ts := httptest.NewServer(s.handler())
 	defer ts.Close()
 	postRun(t, ts, "/run/table1?quick=1")

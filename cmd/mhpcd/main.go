@@ -5,7 +5,8 @@
 // Usage:
 //
 //	mhpcd [-addr :8080] [-j N] [-concurrency N] [-queue N]
-//	      [-timeout D] [-cache N] [-job-history N] [-drain D]
+//	      [-timeout D] [-store-dir DIR] [-store-bytes N]
+//	      [-batch-window D] [-batch-max N] [-job-history N] [-drain D]
 //
 // Endpoints:
 //
@@ -27,10 +28,23 @@
 //	                         sorted "name value" lines
 //
 // Results are content-addressed: the response key is a hash of
-// (id, seed, quick, csv), identical requests hit the in-memory cache,
+// (id, seed, quick, csv), identical requests hit the result store,
 // and concurrent identical requests coalesce onto a single execution.
 // The seed never changes the simulation (runs are deterministic); it
 // is a replica salt for clients that want to force a fresh execution.
+// The store (internal/store) holds up to -store-bytes of results
+// under strict-LRU eviction; with -store-dir it is disk-backed —
+// results survive a restart on the same directory, recovered through
+// a crash-safe journal, so a restarted server serves previously
+// computed keys without re-executing them.
+//
+// With -batch-window > 0, run submissions that arrive within one
+// window and share an experiment family (quick/csv options) are
+// coalesced into a single harness sweep — one admission token, one
+// TablesContext over the union of their experiment ids — and the
+// per-id results fan back out to every waiter, byte-identical to solo
+// runs. -batch-max fires a sweep early once that many distinct keys
+// have joined.
 //
 // Admission is bounded: -concurrency runs execute at once, -queue more
 // may wait, and anything beyond that is rejected with 429 immediately.
@@ -74,7 +88,10 @@ func serve(args []string) error {
 	concurrency := fs.Int("concurrency", 2, "experiment runs executing at once")
 	queue := fs.Int("queue", 8, "additional runs allowed to wait for a slot (0 = reject when busy)")
 	timeout := fs.Duration("timeout", 60*time.Second, "per-run wall clock bound")
-	cacheSize := fs.Int("cache", 128, "results kept in the in-memory cache (0 disables caching)")
+	storeDir := fs.String("store-dir", "", "result-store directory (empty = in-memory only; results then die with the process)")
+	storeBytes := fs.Int64("store-bytes", 256<<20, "result-store byte budget, strict-LRU evicted (0 disables caching)")
+	batchWindow := fs.Duration("batch-window", 0, "coalesce runs arriving within this window into one sweep (0 disables batching)")
+	batchMax := fs.Int("batch-max", 32, "distinct keys merged into one sweep before it fires early")
 	jobHistory := fs.Int("job-history", 256, "finished job records kept for /job lookups")
 	drain := fs.Duration("drain", 10*time.Second, "grace period for in-flight runs on shutdown")
 	if err := fs.Parse(args); err != nil {
@@ -87,22 +104,33 @@ func serve(args []string) error {
 	if err := core.FirstError(
 		core.PositiveInt("concurrency", *concurrency),
 		core.NonNegativeInt("queue", *queue),
-		core.NonNegativeInt("cache", *cacheSize),
+		core.NonNegativeInt("store-bytes", int(*storeBytes)),
+		core.PositiveInt("batch-max", *batchMax),
 		core.PositiveInt("job-history", *jobHistory),
 		core.PositiveFloat("timeout", timeout.Seconds()),
 		core.PositiveFloat("drain", drain.Seconds()),
 	); err != nil {
 		return err
 	}
+	if *batchWindow < 0 {
+		return fmt.Errorf("invalid -batch-window %v: want a non-negative duration", *batchWindow)
+	}
 
-	s := newServer(serverConfig{
+	s, err := newServer(serverConfig{
 		jobs:        j,
 		concurrency: *concurrency,
 		queue:       *queue,
 		timeout:     *timeout,
-		cacheSize:   *cacheSize,
+		cacheBytes:  *storeBytes,
+		storeDir:    *storeDir,
 		jobHistory:  *jobHistory,
+		batchWindow: *batchWindow,
+		batchMax:    *batchMax,
 	})
+	if err != nil {
+		return err
+	}
+	defer s.store.Close()
 	// Publish the collector process-wide so /metrics sees the same
 	// counters the harness substrate feeds, and attach the sim observer
 	// so engine event rates (sim.events.*) flow into the stream deltas.
@@ -118,8 +146,8 @@ func serve(args []string) error {
 			errc <- err
 		}
 	}()
-	fmt.Fprintf(os.Stderr, "mhpcd: serving on %s (concurrency %d, queue %d, cache %d, timeout %v)\n",
-		*addr, *concurrency, *queue, *cacheSize, *timeout)
+	fmt.Fprintf(os.Stderr, "mhpcd: serving on %s (concurrency %d, queue %d, store %dB, batch-window %v, timeout %v)\n",
+		*addr, *concurrency, *queue, *storeBytes, *batchWindow, *timeout)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

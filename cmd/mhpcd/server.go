@@ -4,13 +4,19 @@ package main
 // registry. Every run is deterministic (same id + options, same
 // bytes), so results are content-addressed — the cache key is a hash
 // of the full run request — and concurrent identical requests
-// coalesce onto one execution (singleflight). Admission is bounded:
-// -concurrency runs execute at once, -queue more may wait, and
-// everything past that is rejected with 429 instead of piling up
-// goroutines. Cancellation rides the PR's abort plumbing: each run
-// gets a context bounded by the request, the per-run timeout, and the
-// server's drain deadline, and harness.TablesContext unwinds the
-// simulation engines mid-event when any of them fires.
+// coalesce onto one execution (singleflight). Results live in
+// internal/store: a byte-budgeted strict-LRU layer that, with
+// -store-dir set, is disk-backed and survives restarts — a key
+// computed before a SIGTERM is a cache hit after the process comes
+// back (TestStoreSmoke proves zero re-executions). With
+// -batch-window set, leaders are further coalesced into batched
+// sweeps (see batch.go). Admission is bounded: -concurrency
+// runs/sweeps execute at once, -queue more may wait, and everything
+// past that is rejected with 429 instead of piling up goroutines.
+// Cancellation rides the abort plumbing: each run gets a context
+// bounded by the request, the per-run timeout, and the server's
+// drain deadline, and harness.TablesContext unwinds the simulation
+// engines mid-event when any of them fires.
 
 import (
 	"bytes"
@@ -30,6 +36,7 @@ import (
 
 	"mobilehpc/internal/harness"
 	"mobilehpc/internal/obs"
+	"mobilehpc/internal/store"
 )
 
 // errBusy is the admission-control rejection: concurrency slots and
@@ -78,19 +85,26 @@ type call struct {
 // flags, tests fill it directly.
 type serverConfig struct {
 	jobs        int           // worker pool size passed to each run
-	concurrency int           // runs executing at once
+	concurrency int           // runs/sweeps executing at once
 	queue       int           // additional runs allowed to wait
 	timeout     time.Duration // per-run wall clock bound
-	cacheSize   int           // cached results kept (FIFO); 0 disables
+	cacheBytes  int64         // result-store byte budget; 0 disables caching
+	storeDir    string        // result-store directory; "" = memory-only
 	jobHistory  int           // job records kept (FIFO over finished jobs); 0 = default
+	batchWindow time.Duration // coalescing window; 0 disables batching
+	batchMax    int           // keys merged into one sweep before firing early
 	runFn       func(ctx context.Context, p runParams) ([]byte, error)
+	sweepFn     func(ctx context.Context, fam famKey, ps []runParams, jobs int) (map[string][]byte, error)
 }
 
-// server serves the experiment registry over HTTP. All state is
-// process-local: the cache and flight table die with the process.
+// server serves the experiment registry over HTTP. The flight table
+// and job plane die with the process; the result store survives it
+// when backed by a directory.
 type server struct {
 	cfg      serverConfig
 	col      *obs.Collector
+	store    *store.Store
+	batcher  *batcher      // nil when batching is off
 	sem      chan struct{} // concurrency slots
 	waiting  chan struct{} // admission: concurrency + queue tokens
 	draining atomic.Bool
@@ -101,17 +115,16 @@ type server struct {
 	abortRuns context.CancelFunc
 
 	mu       sync.Mutex
-	cache    map[string]runResult
-	order    []string // cache keys, oldest first (FIFO eviction)
 	flight   map[string]*call
 	jobs     map[string]*job
 	jobOrder []string // job ids, oldest first (FIFO eviction of finished jobs)
 	jobSeq   int64
 }
 
-// newServer wires a server from cfg; a nil cfg.runFn gets the real
-// registry runner.
-func newServer(cfg serverConfig) *server {
+// newServer wires a server from cfg, opening (and with a storeDir,
+// recovering) the result store; nil cfg.runFn/sweepFn get the real
+// registry runner and sweep executor.
+func newServer(cfg serverConfig) (*server, error) {
 	if cfg.jobHistory <= 0 {
 		cfg.jobHistory = 256
 	}
@@ -120,17 +133,72 @@ func newServer(cfg serverConfig) *server {
 		col:     obs.New(),
 		sem:     make(chan struct{}, cfg.concurrency),
 		waiting: make(chan struct{}, cfg.concurrency+cfg.queue),
-		cache:   map[string]runResult{},
 		flight:  map[string]*call{},
 		jobs:    map[string]*job{},
 	}
+	st, err := store.Open(cfg.storeDir, cfg.cacheBytes, s.col)
+	if err != nil {
+		return nil, err
+	}
+	s.store = st
 	s.baseCtx, s.abortRuns = context.WithCancel(context.Background())
 	if s.cfg.runFn == nil {
 		s.cfg.runFn = func(ctx context.Context, p runParams) ([]byte, error) {
 			return runExperimentBytes(ctx, p, cfg.jobs)
 		}
 	}
-	return s
+	if s.cfg.sweepFn == nil {
+		s.cfg.sweepFn = runSweepBytes
+	}
+	if cfg.batchWindow > 0 {
+		s.batcher = newBatcher(s, cfg.batchWindow, cfg.batchMax)
+	}
+	return s, nil
+}
+
+// cacheGet looks key up in the result store (touching it to MRU).
+func (s *server) cacheGet(key string) (runResult, bool) {
+	raw, ok := s.store.Get(key)
+	if !ok {
+		return runResult{}, false
+	}
+	var res runResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return runResult{}, false
+	}
+	return res, true
+}
+
+// cachePeek is cacheGet without the hit/miss accounting or the LRU
+// touch — for internal reads that should not skew the metrics.
+func (s *server) cachePeek(key string) (runResult, bool) {
+	raw, ok := s.store.Peek(key)
+	if !ok {
+		return runResult{}, false
+	}
+	var res runResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return runResult{}, false
+	}
+	return res, true
+}
+
+// cachePut writes one finished run through to the result store.
+func (s *server) cachePut(key string, p runParams, data []byte) {
+	env, err := json.Marshal(runResult{Key: key, ID: p.ID, Seed: p.Seed, Output: string(data)})
+	if err != nil {
+		return
+	}
+	s.store.Put(key, env)
+}
+
+// execute runs one admitted leader: through the batch coalescer when
+// batching is on, directly otherwise.
+func (s *server) execute(ctx context.Context, p runParams) ([]byte, error) {
+	if s.batcher != nil {
+		return s.batcher.submit(ctx, p)
+	}
+	return s.admitAndRun(ctx, p)
 }
 
 // runExperimentBytes executes one registry experiment under ctx and
@@ -249,9 +317,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 	s.counter("serve.requests").Add(1)
 	key := r.PathValue("key")
-	s.mu.Lock()
-	res, ok := s.cache[key]
-	s.mu.Unlock()
+	res, ok := s.cacheGet(key)
 	if !ok {
 		http.Error(w, "unknown result key (evicted or never computed)", http.StatusNotFound)
 		return
@@ -302,7 +368,7 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.mu.Lock()
-	if res, ok := s.cache[key]; ok {
+	if res, ok := s.cacheGet(key); ok {
 		s.mu.Unlock()
 		s.counter("serve.cache_hits").Add(1)
 		res.Cached = true
@@ -324,7 +390,7 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	data, runErr := s.admitAndRun(r.Context(), p)
+	data, runErr := s.execute(r.Context(), p)
 	s.finish(key, p, c, data, runErr)
 	s.respondRun(w, p, key, data, runErr, false)
 }
@@ -341,24 +407,25 @@ func (s *server) joinLocked(key string) (c *call, leader bool) {
 	return c, true
 }
 
-// admitAndRun pushes one run through admission control and executes
-// it. The run's context is bounded three ways: the request context
-// (client hangs up), the per-run timeout, and the server's baseCtx
-// (drain deadline expired).
-func (s *server) admitAndRun(ctx context.Context, p runParams) ([]byte, error) {
+// admitted pushes one execution — a solo run or a whole batched
+// sweep — through admission control and runs fn. The execution's
+// context is bounded three ways: the caller's context (client
+// hang-up, or every batch waiter gone), the per-run timeout, and the
+// server's baseCtx (drain deadline expired).
+func (s *server) admitted(ctx context.Context, fn func(ctx context.Context) error) error {
 	select {
 	case s.waiting <- struct{}{}:
 	default:
 		s.counter("serve.rejected").Add(1)
-		return nil, errBusy
+		return errBusy
 	}
 	defer func() { <-s.waiting }()
 	select {
 	case s.sem <- struct{}{}:
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return ctx.Err()
 	case <-s.baseCtx.Done():
-		return nil, s.baseCtx.Err()
+		return s.baseCtx.Err()
 	}
 	defer func() { <-s.sem }()
 
@@ -371,26 +438,34 @@ func (s *server) admitAndRun(ctx context.Context, p runParams) ([]byte, error) {
 	g.Add(1)
 	defer g.Add(-1)
 	s.counter("serve.runs").Add(1)
-	data, err := s.cfg.runFn(runCtx, p)
+	err := fn(runCtx)
 	if err != nil && errors.Is(err, context.DeadlineExceeded) {
 		s.counter("serve.timeouts").Add(1)
 	}
+	return err
+}
+
+// admitAndRun executes one unbatched run under admission control.
+func (s *server) admitAndRun(ctx context.Context, p runParams) ([]byte, error) {
+	var data []byte
+	err := s.admitted(ctx, func(runCtx context.Context) error {
+		var e error
+		data, e = s.cfg.runFn(runCtx, p)
+		return e
+	})
 	return data, err
 }
 
-// finish publishes the leader's outcome to followers, caches a
-// success, and retires the flight entry.
+// finish publishes the leader's outcome to followers, writes a
+// success through to the result store, and retires the flight entry.
+// Store-put and flight-retire happen under one critical section so a
+// concurrent request always sees the result in at least one of them.
 func (s *server) finish(key string, p runParams, c *call, data []byte, err error) {
 	s.mu.Lock()
-	delete(s.flight, key)
-	if err == nil && s.cfg.cacheSize > 0 {
-		for len(s.order) >= s.cfg.cacheSize {
-			delete(s.cache, s.order[0])
-			s.order = s.order[1:]
-		}
-		s.cache[key] = runResult{Key: key, ID: p.ID, Seed: p.Seed, Output: string(data)}
-		s.order = append(s.order, key)
+	if err == nil {
+		s.cachePut(key, p, data)
 	}
+	delete(s.flight, key)
 	s.mu.Unlock()
 	c.data, c.err = data, err
 	close(c.done)

@@ -18,9 +18,21 @@ import (
 func testConfig(run func(ctx context.Context, p runParams) ([]byte, error)) serverConfig {
 	return serverConfig{
 		jobs: 1, concurrency: 2, queue: 2,
-		timeout: time.Second, cacheSize: 8,
+		timeout: time.Second, cacheBytes: 1 << 20,
 		runFn: run,
 	}
+}
+
+// mustServer builds a server (memory-only store unless cfg.storeDir is
+// set) or fails the test.
+func mustServer(t *testing.T, cfg serverConfig) *server {
+	t.Helper()
+	s, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.store.Close() })
+	return s
 }
 
 // echoRun is the trivial deterministic runner used where execution
@@ -77,7 +89,7 @@ func metric(t *testing.T, ts *httptest.Server, name string) int64 {
 }
 
 func TestExperimentsEndpoint(t *testing.T) {
-	ts := httptest.NewServer(newServer(testConfig(echoRun)).handler())
+	ts := httptest.NewServer(mustServer(t, testConfig(echoRun)).handler())
 	defer ts.Close()
 	resp, err := http.Get(ts.URL + "/experiments")
 	if err != nil {
@@ -103,7 +115,7 @@ func TestExperimentsEndpoint(t *testing.T) {
 }
 
 func TestUnknownExperimentIs404(t *testing.T) {
-	ts := httptest.NewServer(newServer(testConfig(echoRun)).handler())
+	ts := httptest.NewServer(mustServer(t, testConfig(echoRun)).handler())
 	defer ts.Close()
 	code, _, body := postRun(t, ts, "/run/nope")
 	if code != http.StatusNotFound {
@@ -112,7 +124,7 @@ func TestUnknownExperimentIs404(t *testing.T) {
 }
 
 func TestBadParamsAre400(t *testing.T) {
-	ts := httptest.NewServer(newServer(testConfig(echoRun)).handler())
+	ts := httptest.NewServer(mustServer(t, testConfig(echoRun)).handler())
 	defer ts.Close()
 	for _, q := range []string{"?quick=maybe", "?csv=2x", "?seed=-1", "?seed=abc"} {
 		if code, _, _ := postRun(t, ts, "/run/table1"+q); code != http.StatusBadRequest {
@@ -127,7 +139,7 @@ func TestBadParamsAre400(t *testing.T) {
 func TestCacheAndResultEndpoint(t *testing.T) {
 	var runs int64
 	var mu sync.Mutex
-	ts := httptest.NewServer(newServer(testConfig(func(ctx context.Context, p runParams) ([]byte, error) {
+	ts := httptest.NewServer(mustServer(t, testConfig(func(ctx context.Context, p runParams) ([]byte, error) {
 		mu.Lock()
 		runs++
 		mu.Unlock()
@@ -182,7 +194,7 @@ func TestSingleflightCoalescesIdenticalRequests(t *testing.T) {
 	started := make(chan struct{}, 16)
 	var runs int64
 	var mu sync.Mutex
-	ts := httptest.NewServer(newServer(testConfig(func(ctx context.Context, p runParams) ([]byte, error) {
+	ts := httptest.NewServer(mustServer(t, testConfig(func(ctx context.Context, p runParams) ([]byte, error) {
 		mu.Lock()
 		runs++
 		mu.Unlock()
@@ -270,7 +282,7 @@ func TestOverflowIs429(t *testing.T) {
 		return echoRun(ctx, p)
 	})
 	cfg.concurrency, cfg.queue = 1, 0
-	ts := httptest.NewServer(newServer(cfg).handler())
+	ts := httptest.NewServer(mustServer(t, cfg).handler())
 	defer ts.Close()
 
 	done := make(chan struct{})
@@ -300,7 +312,7 @@ func TestTimeoutIs504(t *testing.T) {
 		return nil, ctx.Err()
 	})
 	cfg.timeout = 20 * time.Millisecond
-	ts := httptest.NewServer(newServer(cfg).handler())
+	ts := httptest.NewServer(mustServer(t, cfg).handler())
 	defer ts.Close()
 	code, _, body := postRun(t, ts, "/run/table1?quick=1")
 	if code != http.StatusGatewayTimeout {
@@ -314,7 +326,7 @@ func TestTimeoutIs504(t *testing.T) {
 // Draining: healthz flips to 503 and new runs are refused, while
 // /metrics stays reachable for the final scrape.
 func TestDrainRefusesNewWork(t *testing.T) {
-	s := newServer(testConfig(echoRun))
+	s := mustServer(t, testConfig(echoRun))
 	ts := httptest.NewServer(s.handler())
 	defer ts.Close()
 
@@ -337,25 +349,53 @@ func TestDrainRefusesNewWork(t *testing.T) {
 	}
 }
 
-// FIFO cache bound: the oldest entry is evicted once the cache is
-// full, and /result reports it gone.
-func TestCacheEvictionIsFIFO(t *testing.T) {
+// Strict-LRU cache bound: with a byte budget that fits exactly two
+// entries, re-reading the older entry protects it — the *least
+// recently used* entry is the one evicted, not the oldest-inserted
+// (the FIFO this cache used to be).
+func TestCacheEvictionIsLRU(t *testing.T) {
+	// Measure one stored envelope on a throwaway server (echoRun output
+	// is the same length for every single-digit seed, so all three
+	// entries below store the same number of bytes).
+	probe := mustServer(t, testConfig(echoRun))
+	pts := httptest.NewServer(probe.handler())
+	postRun(t, pts, "/run/table1?quick=1&seed=1")
+	entryBytes := probe.store.Bytes()
+	pts.Close()
+	if entryBytes <= 0 {
+		t.Fatalf("probe entry size %d", entryBytes)
+	}
+
 	cfg := testConfig(echoRun)
-	cfg.cacheSize = 2
-	ts := httptest.NewServer(newServer(cfg).handler())
+	cfg.cacheBytes = 2*entryBytes + entryBytes/2 // two entries fit, three do not
+	s := mustServer(t, cfg)
+	ts := httptest.NewServer(s.handler())
 	defer ts.Close()
+
 	_, first, _ := postRun(t, ts, "/run/table1?quick=1&seed=1")
-	postRun(t, ts, "/run/table1?quick=1&seed=2")
-	postRun(t, ts, "/run/table1?quick=1&seed=3") // evicts seed=1
-	resp, err := http.Get(ts.URL + "/result/" + first.Key)
+	_, second, _ := postRun(t, ts, "/run/table1?quick=1&seed=2")
+	// Touch seed=1: it becomes most-recently-used, so seed=2 is now
+	// the LRU tail.
+	if resp, err := http.Get(ts.URL + "/result/" + first.Key); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("touch read: %v %v", resp.StatusCode, err)
+	}
+	postRun(t, ts, "/run/table1?quick=1&seed=3") // evicts seed=2, not seed=1
+
+	resp, err := http.Get(ts.URL + "/result/" + second.Key)
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
-		t.Errorf("evicted key still served: %d", resp.StatusCode)
+		t.Errorf("LRU entry (seed=2) still served: %d", resp.StatusCode)
 	}
-	if code, res, _ := postRun(t, ts, "/run/table1?quick=1&seed=1"); code != http.StatusOK || res.Cached {
+	if resp, err := http.Get(ts.URL + "/result/" + first.Key); err != nil || resp.StatusCode != http.StatusOK {
+		t.Errorf("touched entry (seed=1) evicted: %v %v", resp.StatusCode, err)
+	}
+	if m := metric(t, ts, "store.evictions"); m != 1 {
+		t.Errorf("store.evictions = %d, want 1", m)
+	}
+	if code, res, _ := postRun(t, ts, "/run/table1?quick=1&seed=2"); code != http.StatusOK || res.Cached {
 		t.Errorf("evicted entry: code %d cached %v, want a fresh 200 run", code, res.Cached)
 	}
 }
@@ -368,8 +408,8 @@ func TestRealRegistryRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("real experiment run")
 	}
-	cfg := serverConfig{jobs: 2, concurrency: 1, queue: 1, timeout: 2 * time.Minute, cacheSize: 4}
-	ts := httptest.NewServer(newServer(cfg).handler())
+	cfg := serverConfig{jobs: 2, concurrency: 1, queue: 1, timeout: 2 * time.Minute, cacheBytes: 1 << 20}
+	ts := httptest.NewServer(mustServer(t, cfg).handler())
 	defer ts.Close()
 	code, res, body := postRun(t, ts, "/run/table1?quick=1")
 	if code != http.StatusOK {

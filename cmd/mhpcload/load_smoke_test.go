@@ -1,0 +1,126 @@
+package main
+
+// End-to-end load smoke: build the real mhpcd, run it with a 10ms
+// coalescing window and a disk store, replay a zipf mix through the
+// real flag/report path, and require a valid mhpc-load-report/v1 with
+// a healthy completion rate. Gated behind MHPC_LOAD_SMOKE=1; the
+// Makefile load-smoke target (wired into `make check`) sets the gate,
+// points MHPC_LOAD_REPORT_OUT at a persistent path, and follows up
+// with jsoncheck on the exported artefact.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"mobilehpc/internal/loadreport"
+)
+
+func TestLoadSmoke(t *testing.T) {
+	if os.Getenv("MHPC_LOAD_SMOKE") != "1" {
+		t.Skip("set MHPC_LOAD_SMOKE=1 to run the mhpcload end-to-end smoke test")
+	}
+
+	bin := filepath.Join(t.TempDir(), "mhpcd")
+	build := exec.Command("go", "build", "-o", bin, "../mhpcd")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building mhpcd: %v\n%s", err, out)
+	}
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := l.Addr().(*net.TCPAddr).Port
+	l.Close()
+	base := fmt.Sprintf("http://127.0.0.1:%d", port)
+	cmd := exec.Command(bin,
+		"-addr", fmt.Sprintf("127.0.0.1:%d", port),
+		"-j", "2", "-concurrency", "2", "-queue", "64",
+		"-store-dir", filepath.Join(t.TempDir(), "results"),
+		"-batch-window", "10ms", "-timeout", "5m", "-drain", "2s")
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	defer cmd.Process.Kill()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("mhpcd never became healthy")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// The real replay through the real flag path: 60 requests over 6
+	// keys at 100 req/s with a 10% abandon fraction. The report lands
+	// where the Makefile can hand it to jsoncheck afterwards.
+	out := os.Getenv("MHPC_LOAD_REPORT_OUT")
+	if out == "" {
+		out = filepath.Join(t.TempDir(), "load-report.json")
+	}
+	var sb strings.Builder
+	err = run([]string{
+		"-addr", base, "-n", "60", "-rate", "100", "-keys", "6",
+		"-zipf", "1.3", "-cancel", "0.1", "-seed", "42", "-o", out,
+	}, &sb)
+	if err != nil {
+		t.Fatalf("mhpcload run: %v", err)
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadreport.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report not JSON: %v", err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("report invalid: %v\n%s", err, data)
+	}
+	if rep.Sent != 60 {
+		t.Errorf("sent %d, want 60", rep.Sent)
+	}
+	// The queue is deep and runs are quick-mode: nothing should fail
+	// outright, and the non-cancelled majority should complete.
+	if rep.Failed != 0 {
+		t.Errorf("failed %d, want 0\n%s", rep.Failed, data)
+	}
+	if rep.Completed < rep.Sent/2 {
+		t.Errorf("completed %d of %d, want at least half\n%s", rep.Completed, rep.Sent, data)
+	}
+	if rep.Latency.P99Nanos <= 0 {
+		t.Errorf("p99 %d, want > 0", rep.Latency.P99Nanos)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("mhpcd exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("mhpcd did not exit within 15s of SIGTERM")
+	}
+}

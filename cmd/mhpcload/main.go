@@ -1,0 +1,267 @@
+// Command mhpcload replays a seeded request mix against a live mhpcd
+// and reports what the client side saw: throughput and latency
+// quantiles per outcome. It is the load half of the durable-serving
+// story — the store and the coalescer are server-side claims, and
+// this is the tool that measures them from outside the process.
+//
+// Usage:
+//
+//	mhpcload -addr http://127.0.0.1:8080 [-n N] [-rate RPS]
+//	         [-keys K] [-zipf S] [-cancel F] [-seed N]
+//	         [-experiment ID] [-quick] [-timeout D] [-o report.json]
+//
+// The mix is deterministic for a given seed: K distinct content keys
+// (one experiment id crossed with K seed salts), drawn Zipf(S) so a
+// few keys are hot and the tail is cold — the shape a result cache
+// actually faces. Requests depart open-loop at -rate (arrival times
+// do not wait for completions, so a slow server accumulates queue
+// pressure instead of quietly throttling the test), each as a
+// synchronous POST /run/{id}?wait=1. A -cancel fraction of requests
+// is abandoned client-side partway through its run, exercising the
+// server's cancellation path under load.
+//
+// Every request lands in exactly one outcome bucket: completed (200),
+// rejected (429 from admission control), cancelled (client-side
+// abort), or failed (anything else). Latency is recorded for
+// completed requests only. The report is written as
+// mhpc-load-report/v1 JSON (validated by cmd/jsoncheck, and by this
+// process before it writes) to -o, or to stdout.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"mobilehpc/internal/core"
+	"mobilehpc/internal/loadreport"
+	"mobilehpc/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mhpcload:", err)
+		os.Exit(1)
+	}
+}
+
+// loadConfig is the replay mix, fully determined by its fields (same
+// config, same request sequence).
+type loadConfig struct {
+	addr       string
+	requests   int
+	rate       float64
+	keys       int
+	zipfS      float64
+	cancel     float64
+	seed       uint64
+	experiment string
+	quick      bool
+	timeout    time.Duration
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mhpcload", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "base URL of the mhpcd under load")
+	n := fs.Int("n", 200, "requests to send")
+	rate := fs.Float64("rate", 100, "open-loop arrival rate, requests/second")
+	keys := fs.Int("keys", 8, "distinct content keys in the mix (seed salts on one experiment)")
+	zipfS := fs.Float64("zipf", 1.3, "zipf skew over the keys (> 1; larger = hotter head)")
+	cancel := fs.Float64("cancel", 0, "fraction of requests abandoned mid-run [0, 1]")
+	seed := fs.Uint64("seed", 1, "mix seed (same seed, same request sequence)")
+	experiment := fs.String("experiment", "table1", "experiment id every request targets")
+	quick := fs.Bool("quick", true, "request quick-mode runs")
+	timeout := fs.Duration("timeout", 2*time.Minute, "per-request client timeout")
+	out := fs.String("o", "", "report path (empty = stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := core.FirstError(
+		core.PositiveInt("n", *n),
+		core.PositiveInt("keys", *keys),
+		core.PositiveFloat("rate", *rate),
+		core.PositiveFloat("timeout", timeout.Seconds()),
+	); err != nil {
+		return err
+	}
+	if *zipfS <= 1 {
+		return fmt.Errorf("invalid -zipf %v: want > 1", *zipfS)
+	}
+	if *cancel < 0 || *cancel > 1 {
+		return fmt.Errorf("invalid -cancel %v: want within [0, 1]", *cancel)
+	}
+
+	rep, err := replay(context.Background(), loadConfig{
+		addr: *addr, requests: *n, rate: *rate, keys: *keys, zipfS: *zipfS,
+		cancel: *cancel, seed: *seed, experiment: *experiment, quick: *quick,
+		timeout: *timeout,
+	})
+	if err != nil {
+		return err
+	}
+	if err := rep.Validate(); err != nil {
+		return fmt.Errorf("internal error: generated report invalid: %v", err)
+	}
+	if *out == "" {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	if err := core.AtomicWriteFile(*out, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "mhpcload: %d sent, %d completed (%.1f req/s, p50 %v p99 %v) -> %s\n",
+		rep.Sent, rep.Completed, rep.AchievedRPS,
+		time.Duration(rep.Latency.P50Nanos), time.Duration(rep.Latency.P99Nanos), *out)
+	return nil
+}
+
+// replay drives the full mix and aggregates the outcome. It returns
+// an error only for setup problems; per-request failures land in the
+// report's buckets.
+func replay(ctx context.Context, cfg loadConfig) (*loadreport.Report, error) {
+	rng := rand.New(rand.NewSource(int64(cfg.seed)))
+	zipf := rand.NewZipf(rng, cfg.zipfS, 1, uint64(cfg.keys-1))
+	if cfg.keys == 1 {
+		zipf = nil // rand.NewZipf requires imax >= 1; one key needs no draw
+	}
+
+	// Pre-draw the whole request sequence so goroutine scheduling
+	// cannot perturb determinism: request i targets seeds[i] and is
+	// cancelled iff cancels[i].
+	seeds := make([]uint64, cfg.requests)
+	cancels := make([]bool, cfg.requests)
+	for i := range seeds {
+		if zipf != nil {
+			seeds[i] = zipf.Uint64() + 1
+		} else {
+			seeds[i] = 1
+		}
+		cancels[i] = rng.Float64() < cfg.cancel
+	}
+
+	client := &http.Client{Timeout: cfg.timeout}
+	lat := obs.New().Histogram("load.latency_ns")
+	var mu sync.Mutex
+	rep := &loadreport.Report{
+		Schema: loadreport.Schema, Target: cfg.addr,
+		Seed: cfg.seed, Keys: cfg.keys, ZipfS: cfg.zipfS, RateRPS: cfg.rate,
+		CancelPF: cfg.cancel, Requests: cfg.requests,
+	}
+
+	interval := time.Duration(float64(time.Second) / cfg.rate)
+	start := time.Now()
+	var wg sync.WaitGroup
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+send:
+	for i := 0; i < cfg.requests; i++ {
+		if i > 0 {
+			select {
+			case <-ticker.C:
+			case <-ctx.Done():
+				break send
+			}
+		}
+		wg.Add(1)
+		mu.Lock()
+		rep.Sent++
+		mu.Unlock()
+		go func(seed uint64, doCancel bool) {
+			defer wg.Done()
+			outcome, elapsed := oneRequest(ctx, client, cfg, seed, doCancel)
+			mu.Lock()
+			defer mu.Unlock()
+			switch outcome {
+			case outcomeCompleted:
+				rep.Completed++
+				lat.Observe(int64(elapsed))
+			case outcomeCancelled:
+				rep.Cancelled++
+			case outcomeRejected:
+				rep.Rejected++
+			default:
+				rep.Failed++
+			}
+		}(seeds[i], cancels[i])
+	}
+	wg.Wait()
+	rep.Finish(time.Since(start))
+
+	rep.Latency = loadreport.Latency{
+		P50Nanos: int64(lat.Quantile(0.50)),
+		P95Nanos: int64(lat.Quantile(0.95)),
+		P99Nanos: int64(lat.Quantile(0.99)),
+	}
+	if c := lat.Count(); c > 0 {
+		rep.Latency.MeanNanos = lat.Sum() / c
+	}
+	return rep, nil
+}
+
+type outcome int
+
+const (
+	outcomeCompleted outcome = iota
+	outcomeCancelled
+	outcomeRejected
+	outcomeFailed
+)
+
+// oneRequest issues a single synchronous run and classifies what came
+// back. A to-be-cancelled request is abandoned shortly after it
+// departs — from the server's point of view, a client that gave up
+// mid-run.
+func oneRequest(ctx context.Context, client *http.Client, cfg loadConfig, seed uint64, doCancel bool) (outcome, time.Duration) {
+	reqCtx := ctx
+	if doCancel {
+		var cancel context.CancelFunc
+		reqCtx, cancel = context.WithTimeout(ctx, time.Millisecond)
+		defer cancel()
+	}
+	url := fmt.Sprintf("%s/run/%s?wait=1&seed=%d&quick=%d", cfg.addr, cfg.experiment, seed, b2i(cfg.quick))
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, url, nil)
+	if err != nil {
+		return outcomeFailed, 0
+	}
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		if doCancel && errors.Is(err, context.DeadlineExceeded) {
+			return outcomeCancelled, 0
+		}
+		return outcomeFailed, 0
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	elapsed := time.Since(start)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		// A to-be-cancelled run that finished before its abandon
+		// deadline fired still completed, from both sides' view.
+		return outcomeCompleted, elapsed
+	case http.StatusTooManyRequests:
+		return outcomeRejected, elapsed
+	default:
+		return outcomeFailed, elapsed
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

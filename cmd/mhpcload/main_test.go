@@ -1,0 +1,181 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mobilehpc/internal/loadreport"
+)
+
+// fakeServer mimics mhpcd's POST /run surface: 200 with a body after
+// an optional delay, or 429 when a flag says so.
+func fakeServer(delay time.Duration, reject *atomic.Bool) *httptest.Server {
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if reject != nil && reject.Load() {
+			http.Error(w, "busy", http.StatusTooManyRequests)
+			return
+		}
+		select {
+		case <-time.After(delay):
+		case <-r.Context().Done():
+			return
+		}
+		fmt.Fprintf(w, `{"schema":"mhpc-run-result/v1","key":"k","output":"table"}`)
+	}))
+}
+
+func TestReplayCompletesAndValidates(t *testing.T) {
+	ts := fakeServer(0, nil)
+	defer ts.Close()
+	rep, err := replay(context.Background(), loadConfig{
+		addr: ts.URL, requests: 40, rate: 2000, keys: 4, zipfS: 1.3,
+		seed: 7, experiment: "table1", quick: true, timeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("report invalid: %v\n%+v", err, rep)
+	}
+	if rep.Sent != 40 || rep.Completed != 40 {
+		t.Errorf("sent %d completed %d, want 40/40", rep.Sent, rep.Completed)
+	}
+	if rep.AchievedRPS <= 0 {
+		t.Errorf("achieved rps %v, want > 0", rep.AchievedRPS)
+	}
+}
+
+func TestReplayClassifiesRejections(t *testing.T) {
+	var reject atomic.Bool
+	reject.Store(true)
+	ts := fakeServer(0, &reject)
+	defer ts.Close()
+	rep, err := replay(context.Background(), loadConfig{
+		addr: ts.URL, requests: 10, rate: 2000, keys: 2, zipfS: 1.5,
+		seed: 1, experiment: "table1", quick: true, timeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rejected != 10 || rep.Completed != 0 {
+		t.Errorf("rejected %d completed %d, want 10/0", rep.Rejected, rep.Completed)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("report invalid: %v", err)
+	}
+}
+
+func TestReplayCancelFractionAbandonsRequests(t *testing.T) {
+	// Server slow enough that every to-be-cancelled request's 1ms
+	// abandon deadline fires first.
+	ts := fakeServer(200*time.Millisecond, nil)
+	defer ts.Close()
+	rep, err := replay(context.Background(), loadConfig{
+		addr: ts.URL, requests: 20, rate: 2000, keys: 2, zipfS: 1.5,
+		cancel: 1.0, seed: 3, experiment: "table1", quick: true, timeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cancelled != 20 {
+		t.Errorf("cancelled %d, want 20 at cancel=1.0 against a slow server", rep.Cancelled)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("report invalid: %v", err)
+	}
+}
+
+// Determinism: the same seed draws the same key sequence (the mix is
+// pre-drawn, so goroutine scheduling cannot perturb it).
+func TestReplayMixIsDeterministic(t *testing.T) {
+	record := func() []string {
+		seen := make(chan string, 64)
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			seen <- r.URL.RawQuery
+			fmt.Fprint(w, `{}`)
+		}))
+		defer ts.Close()
+		if _, err := replay(context.Background(), loadConfig{
+			addr: ts.URL, requests: 30, rate: 5000, keys: 8, zipfS: 1.2,
+			seed: 11, experiment: "table1", quick: true, timeout: 5 * time.Second,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		close(seen)
+		var got []string
+		for q := range seen {
+			got = append(got, q)
+		}
+		return got
+	}
+	a, b := record(), record()
+	if len(a) != len(b) || len(a) != 30 {
+		t.Fatalf("request counts diverged: %d vs %d", len(a), len(b))
+	}
+	// Arrival *order* can vary with scheduling; the multiset of
+	// requested seeds must not.
+	count := func(qs []string) map[string]int {
+		m := map[string]int{}
+		for _, q := range qs {
+			m[q]++
+		}
+		return m
+	}
+	ca, cb := count(a), count(b)
+	for q, n := range ca {
+		if cb[q] != n {
+			t.Errorf("query %q drawn %d vs %d times across identical seeds", q, n, cb[q])
+		}
+	}
+}
+
+func TestRunWritesValidReportFile(t *testing.T) {
+	ts := fakeServer(0, nil)
+	defer ts.Close()
+	out := filepath.Join(t.TempDir(), "report.json")
+	var sb strings.Builder
+	err := run([]string{
+		"-addr", ts.URL, "-n", "12", "-rate", "2000", "-keys", "3",
+		"-seed", "5", "-o", out,
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadreport.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report not JSON: %v", err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("written report invalid: %v", err)
+	}
+	if !strings.Contains(sb.String(), "completed") {
+		t.Errorf("summary line missing: %q", sb.String())
+	}
+}
+
+func TestBadFlagsRejected(t *testing.T) {
+	for _, args := range [][]string{
+		{"-n", "0"},
+		{"-rate", "0"},
+		{"-keys", "0"},
+		{"-zipf", "1"},
+		{"-cancel", "2"},
+	} {
+		if err := run(args, &strings.Builder{}); err == nil {
+			t.Errorf("args %v accepted, want error", args)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Package loadreport defines the mhpc-load-report/v1 document: the
+// JSON artefact cmd/mhpcload writes after replaying a request mix
+// against a live mhpcd. The schema is versioned and self-validating
+// (Validate enforces the cross-field invariants), and cmd/jsoncheck
+// gates it the same way it gates run manifests, so a load report that
+// reaches BENCH or CI provenance is known to be internally
+// consistent.
+package loadreport
+
+import (
+	"fmt"
+	"time"
+)
+
+// Schema names the document layout this package writes and validates.
+const Schema = "mhpc-load-report/v1"
+
+// Latency is the replay's client-observed latency summary in
+// nanoseconds (p50/p95/p99 interpolated from the load generator's
+// log-bucketed histogram).
+type Latency struct {
+	P50Nanos  int64 `json:"p50_ns"`
+	P95Nanos  int64 `json:"p95_ns"`
+	P99Nanos  int64 `json:"p99_ns"`
+	MeanNanos int64 `json:"mean_ns"`
+}
+
+// Report is one replay run: the mix parameters that generated the
+// load and the outcome counts + latency the client side observed.
+type Report struct {
+	Schema string `json:"schema"`
+	Target string `json:"target"` // base URL of the mhpcd under load
+
+	// Mix parameters (replayable: same seed, same request sequence).
+	Seed     uint64  `json:"seed"`
+	Keys     int     `json:"keys"`   // distinct content keys in the mix
+	ZipfS    float64 `json:"zipf_s"` // zipf skew over those keys (s > 1)
+	RateRPS  float64 `json:"rate"`   // open-loop arrival rate, requests/s
+	CancelPF float64 `json:"cancel"` // fraction of requests cancelled mid-run
+	Requests int     `json:"requests"`
+
+	// Outcomes. Every sent request lands in exactly one bucket.
+	Sent      int `json:"sent"`
+	Completed int `json:"completed"`
+	Cancelled int `json:"cancelled"`
+	Rejected  int `json:"rejected"` // 429s from admission control
+	Failed    int `json:"failed"`
+
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	AchievedRPS    float64 `json:"achieved_rps"` // completed / elapsed
+	Latency        Latency `json:"latency"`
+}
+
+// Validate enforces the cross-field invariants a well-formed report
+// must satisfy; jsoncheck calls it for any document that declares the
+// schema.
+func (r *Report) Validate() error {
+	if r.Schema != Schema {
+		return fmt.Errorf("schema %q, want %q", r.Schema, Schema)
+	}
+	if r.Target == "" {
+		return fmt.Errorf("empty target")
+	}
+	if r.Keys <= 0 {
+		return fmt.Errorf("keys %d, want > 0", r.Keys)
+	}
+	if r.ZipfS <= 1 {
+		return fmt.Errorf("zipf_s %v, want > 1", r.ZipfS)
+	}
+	if r.RateRPS <= 0 {
+		return fmt.Errorf("rate %v, want > 0", r.RateRPS)
+	}
+	if r.CancelPF < 0 || r.CancelPF > 1 {
+		return fmt.Errorf("cancel fraction %v, want within [0, 1]", r.CancelPF)
+	}
+	for _, c := range []struct {
+		name string
+		v    int
+	}{
+		{"requests", r.Requests}, {"sent", r.Sent}, {"completed", r.Completed},
+		{"cancelled", r.Cancelled}, {"rejected", r.Rejected}, {"failed", r.Failed},
+	} {
+		if c.v < 0 {
+			return fmt.Errorf("%s %d, want >= 0", c.name, c.v)
+		}
+	}
+	if got := r.Completed + r.Cancelled + r.Rejected + r.Failed; got != r.Sent {
+		return fmt.Errorf("outcome buckets sum to %d, want sent = %d", got, r.Sent)
+	}
+	if r.Sent > r.Requests {
+		return fmt.Errorf("sent %d exceeds requests %d", r.Sent, r.Requests)
+	}
+	if r.ElapsedSeconds <= 0 {
+		return fmt.Errorf("elapsed_seconds %v, want > 0", r.ElapsedSeconds)
+	}
+	l := r.Latency
+	if l.P50Nanos < 0 || l.P95Nanos < l.P50Nanos || l.P99Nanos < l.P95Nanos {
+		return fmt.Errorf("latency quantiles not monotone: p50=%d p95=%d p99=%d",
+			l.P50Nanos, l.P95Nanos, l.P99Nanos)
+	}
+	if l.MeanNanos < 0 {
+		return fmt.Errorf("negative mean latency %d", l.MeanNanos)
+	}
+	return nil
+}
+
+// Finish derives the outcome aggregates that depend on wall time:
+// elapsed and achieved throughput. Callers fill the counts first.
+func (r *Report) Finish(elapsed time.Duration) {
+	r.ElapsedSeconds = elapsed.Seconds()
+	if r.ElapsedSeconds > 0 {
+		r.AchievedRPS = float64(r.Completed) / r.ElapsedSeconds
+	}
+}

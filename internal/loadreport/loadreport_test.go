@@ -1,0 +1,89 @@
+package loadreport
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// good returns a report that passes Validate; tests mutate one field
+// at a time.
+func good() Report {
+	return Report{
+		Schema: Schema, Target: "http://127.0.0.1:8080",
+		Seed: 1, Keys: 16, ZipfS: 1.2, RateRPS: 200, CancelPF: 0.1,
+		Requests: 100, Sent: 100, Completed: 80, Cancelled: 10, Rejected: 5, Failed: 5,
+		ElapsedSeconds: 0.5, AchievedRPS: 160,
+		Latency: Latency{P50Nanos: 1000, P95Nanos: 2000, P99Nanos: 3000, MeanNanos: 1200},
+	}
+}
+
+func TestValidateAcceptsGoodReport(t *testing.T) {
+	r := good()
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Report)
+		want string
+	}{
+		{"wrong schema", func(r *Report) { r.Schema = "mhpc-load-report/v0" }, "schema"},
+		{"empty target", func(r *Report) { r.Target = "" }, "target"},
+		{"zero keys", func(r *Report) { r.Keys = 0 }, "keys"},
+		{"zipf at 1", func(r *Report) { r.ZipfS = 1 }, "zipf"},
+		{"zero rate", func(r *Report) { r.RateRPS = 0 }, "rate"},
+		{"cancel over 1", func(r *Report) { r.CancelPF = 1.5 }, "cancel"},
+		{"negative failed", func(r *Report) { r.Failed = -1 }, "failed"},
+		{"buckets do not sum", func(r *Report) { r.Completed++ }, "sum"},
+		{"sent over requests", func(r *Report) { r.Requests = 10 }, "exceeds"},
+		{"zero elapsed", func(r *Report) { r.ElapsedSeconds = 0 }, "elapsed"},
+		{"p95 under p50", func(r *Report) { r.Latency.P95Nanos = 1 }, "monotone"},
+		{"negative mean", func(r *Report) { r.Latency.MeanNanos = -1 }, "mean"},
+	}
+	for _, tc := range cases {
+		r := good()
+		tc.mut(&r)
+		err := r.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted the report", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestFinishDerivesThroughput(t *testing.T) {
+	r := good()
+	r.Finish(2 * time.Second)
+	if r.ElapsedSeconds != 2 {
+		t.Errorf("elapsed %v, want 2", r.ElapsedSeconds)
+	}
+	if r.AchievedRPS != 40 {
+		t.Errorf("achieved rps %v, want 40 (80 completed / 2s)", r.AchievedRPS)
+	}
+}
+
+func TestRoundTripJSON(t *testing.T) {
+	r := good()
+	data, err := json.Marshal(&r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != r {
+		t.Fatalf("round trip diverged:\n got %+v\nwant %+v", back, r)
+	}
+	if !strings.Contains(string(data), `"schema":"mhpc-load-report/v1"`) {
+		t.Errorf("serialized schema tag missing: %s", data)
+	}
+}

@@ -1,0 +1,231 @@
+package store
+
+// Crash-consistency wall: every shape a kill can leave on disk —
+// truncated entry payload, bit-flipped payload, torn journal tail,
+// garbage journal lines, orphaned entry files — must recover on Open
+// with the damaged pieces dropped and every intact entry served.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mobilehpc/internal/obs"
+)
+
+// seedStore populates dir with n intact entries and returns their
+// values by key.
+func seedStore(t *testing.T, dir string, n int) map[string]string {
+	t.Helper()
+	s, err := Open(dir, 1<<20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]string{}
+	for i := 0; i < n; i++ {
+		v := fmt.Sprintf("payload %d: %s", i, strings.Repeat("x", 20+i))
+		if err := s.Put(k(i), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		vals[k(i)] = v
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return vals
+}
+
+// reopenAndCheck opens dir and asserts exactly the wantLive subset of
+// vals is served, byte-exactly, and nothing else.
+func reopenAndCheck(t *testing.T, dir string, vals map[string]string, dead ...string) *obs.Collector {
+	t.Helper()
+	col := obs.New()
+	s, err := Open(dir, 1<<20, col)
+	if err != nil {
+		t.Fatalf("recovery open failed: %v", err)
+	}
+	defer s.Close()
+	deadSet := map[string]bool{}
+	for _, d := range dead {
+		deadSet[d] = true
+	}
+	for key, want := range vals {
+		got, ok := s.Get(key)
+		if deadSet[key] {
+			if ok {
+				t.Errorf("damaged key %s was served (%q)", key, got)
+			}
+			continue
+		}
+		if !ok || string(got) != want {
+			t.Errorf("intact key %s: got %q, %v; want %q", key, got, ok, want)
+		}
+	}
+	if want := len(vals) - len(dead); s.Len() != want {
+		t.Errorf("recovered %d entries, want %d", s.Len(), want)
+	}
+	return col
+}
+
+// A kill mid-payload-write simulated as a truncated entry file: the
+// entry is dropped, all others served.
+func TestRecoverTruncatedEntryFile(t *testing.T) {
+	dir := t.TempDir()
+	vals := seedStore(t, dir, 4)
+	path := filepath.Join(dir, "entries", k(2))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-7], 0o666); err != nil {
+		t.Fatal(err)
+	}
+	col := reopenAndCheck(t, dir, vals, k(2))
+	if c := col.Counters(); c["store.dropped"] != 1 {
+		t.Errorf("store.dropped = %d, want 1", c["store.dropped"])
+	}
+}
+
+// A bit flip inside the payload fails the checksum: dropped, not
+// served corrupt.
+func TestRecoverCorruptPayload(t *testing.T) {
+	dir := t.TempDir()
+	vals := seedStore(t, dir, 3)
+	path := filepath.Join(dir, "entries", k(1))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-3] ^= 0x40 // same length, different bytes
+	if err := os.WriteFile(path, raw, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	reopenAndCheck(t, dir, vals, k(1))
+}
+
+// A kill mid-journal-append leaves a torn final line: recovery drops
+// the tail, keeps every previously indexed entry.
+func TestRecoverTornJournalTail(t *testing.T) {
+	dir := t.TempDir()
+	vals := seedStore(t, dir, 3)
+	j, err := os.OpenFile(filepath.Join(dir, "index.journal"), os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half a put line, no newline, CRC missing — the torn shape.
+	if _, err := j.WriteString("v1 put deadbeef 123 4aa"); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	col := reopenAndCheck(t, dir, vals)
+	if c := col.Counters(); c["store.journal_dropped"] != 1 {
+		t.Errorf("store.journal_dropped = %d, want 1", c["store.journal_dropped"])
+	}
+}
+
+// Garbage lines *between* valid lines (a disk scribble, not a torn
+// tail) are skipped without losing the entries after them.
+func TestRecoverGarbageJournalLineMidFile(t *testing.T) {
+	dir := t.TempDir()
+	vals := seedStore(t, dir, 3)
+	jp := filepath.Join(dir, "index.journal")
+	raw, err := os.ReadFile(jp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(raw), "\n")
+	mangled := lines[0] + "not a journal line at all\n" + strings.Join(lines[1:], "")
+	if err := os.WriteFile(jp, []byte(mangled), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	reopenAndCheck(t, dir, vals)
+}
+
+// A put line whose CRC is valid but whose recorded checksum does not
+// match the entry file (cross-corruption) drops the entry.
+func TestRecoverJournalEntryChecksumMismatch(t *testing.T) {
+	dir := t.TempDir()
+	vals := seedStore(t, dir, 2)
+	jp := filepath.Join(dir, "index.journal")
+	raw, err := os.ReadFile(jp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite k(0)'s put line with a well-formed but wrong checksum.
+	wrongSum := strings.Repeat("ab", 32)
+	var out []string
+	for _, line := range strings.Split(strings.TrimSuffix(string(raw), "\n"), "\n") {
+		_, rec, ok := parseJournalLine(line)
+		if ok && rec.key == k(0) {
+			out = append(out, strings.TrimSuffix(string(putLine(rec.key, rec.size, wrongSum)), "\n"))
+			continue
+		}
+		out = append(out, line)
+	}
+	if err := os.WriteFile(jp, []byte(strings.Join(out, "\n")+"\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	reopenAndCheck(t, dir, vals, k(0))
+}
+
+// An entry file with no journal line (crash between entry rename and
+// journal append) is an orphan: removed on open, never indexed.
+func TestRecoverOrphanEntryFile(t *testing.T) {
+	dir := t.TempDir()
+	vals := seedStore(t, dir, 2)
+	orphan := filepath.Join(dir, "entries", "aaaa0000")
+	data := []byte("orphan payload")
+	if err := os.WriteFile(orphan, encodeEntry("aaaa0000", data, sumHexOf(data)), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	col := reopenAndCheck(t, dir, vals)
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Error("orphan entry file survived recovery")
+	}
+	if c := col.Counters(); c["store.orphans"] != 1 {
+		t.Errorf("store.orphans = %d, want 1", c["store.orphans"])
+	}
+}
+
+// A journal referencing a key with no entry file (crash before the
+// entry landed, or a lost rename) drops that key cleanly.
+func TestRecoverMissingEntryFile(t *testing.T) {
+	dir := t.TempDir()
+	vals := seedStore(t, dir, 3)
+	if err := os.Remove(filepath.Join(dir, "entries", k(1))); err != nil {
+		t.Fatal(err)
+	}
+	reopenAndCheck(t, dir, vals, k(1))
+}
+
+// A shrunken budget on reopen evicts the strict-LRU tail down to the
+// new bound.
+func TestReopenWithSmallerBudgetEvictsLRU(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 1<<20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := []byte("0123456789") // 10 bytes
+	for i := 0; i < 4; i++ {
+		s.Put(k(i), v)
+	}
+	s.Get(k(0)) // order: 1,2,3,0
+	s.Close()
+
+	r, err := Open(dir, 25, nil) // fits 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != 2 || r.Bytes() > 25 {
+		t.Fatalf("Len=%d Bytes=%d after shrink, want 2 entries <= 25 bytes", r.Len(), r.Bytes())
+	}
+	for _, want := range []int{3, 0} {
+		if _, ok := r.Get(k(want)); !ok {
+			t.Errorf("k(%d) missing; shrink should keep the MRU tail", want)
+		}
+	}
+}

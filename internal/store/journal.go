@@ -1,0 +1,226 @@
+package store
+
+// The index-journal and entry-file formats. Both are line-headed text
+// so a human (and the crash tests) can read a store directory with
+// cat, and both are self-checking so a torn write is detected rather
+// than believed.
+//
+// Journal line (one op each, newline-terminated):
+//
+//	v1 put <key> <size> <sha256hex> <crc32hex>
+//	v1 get <key> 0 - <crc32hex>
+//	v1 del <key> 0 - <crc32hex>
+//
+// The trailing crc32 (IEEE) covers the five preceding fields exactly
+// as written. A line that is short, malformed, mischecksummed, or
+// missing its newline — the shape a kill mid-append leaves — is
+// dropped during replay; replay continues with the next line, so one
+// bad line never takes out the rest of the index.
+//
+// Entry file:
+//
+//	mhpc-store-entry/v1 <key> <size> <sha256hex>\n
+//	<payload bytes>
+//
+// The payload must match both the declared size and the declared
+// SHA-256, and the header's key must match the file name and the
+// journal's record — four ways a truncated or bit-flipped entry
+// fails closed.
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// entryMagic heads every entry file.
+const entryMagic = "mhpc-store-entry/v1"
+
+// journalRec is one surviving index record after replay: a live key
+// with the size and checksum its last put declared.
+type journalRec struct {
+	key  string
+	size int64
+	sum  string
+}
+
+// validKey reports whether key is safe as both a journal token and a
+// file name: non-empty lowercase hex, at most 64 characters. Content
+// addresses (truncated SHA-256 hex) always qualify; anything else —
+// including path separators smuggled in through a corrupt journal —
+// does not.
+func validKey(key string) bool {
+	if len(key) == 0 || len(key) > 64 {
+		return false
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// journalLine renders one checked line.
+func journalLine(op, key string, size int64, sum string) []byte {
+	body := fmt.Sprintf("v1 %s %s %d %s", op, key, size, sum)
+	return []byte(fmt.Sprintf("%s %08x\n", body, crc32.ChecksumIEEE([]byte(body))))
+}
+
+func putLine(key string, size int64, sum string) []byte { return journalLine("put", key, size, sum) }
+func touchLine(key string) []byte                       { return journalLine("get", key, 0, "-") }
+func delLine(key string) []byte                         { return journalLine("del", key, 0, "-") }
+
+// parseJournalLine decodes one line (without its newline). It returns
+// ok=false for anything that does not round-trip through journalLine.
+func parseJournalLine(line string) (op string, rec journalRec, ok bool) {
+	f := strings.Split(line, " ")
+	if len(f) != 6 || f[0] != "v1" {
+		return "", journalRec{}, false
+	}
+	body := strings.Join(f[:5], " ")
+	crc, err := strconv.ParseUint(f[5], 16, 32)
+	if err != nil || uint32(crc) != crc32.ChecksumIEEE([]byte(body)) {
+		return "", journalRec{}, false
+	}
+	op = f[1]
+	rec.key = f[2]
+	if !validKey(rec.key) {
+		return "", journalRec{}, false
+	}
+	switch op {
+	case "put":
+		rec.size, err = strconv.ParseInt(f[3], 10, 64)
+		if err != nil || rec.size < 0 {
+			return "", journalRec{}, false
+		}
+		rec.sum = f[4]
+		if len(rec.sum) != 64 || !validKey(rec.sum) {
+			return "", journalRec{}, false
+		}
+	case "get", "del":
+		if f[3] != "0" || f[4] != "-" {
+			return "", journalRec{}, false
+		}
+	default:
+		return "", journalRec{}, false
+	}
+	return op, rec, true
+}
+
+// maxJournalLine bounds one journal line during replay; real lines
+// are ~120 bytes, so anything near the cap is corruption.
+const maxJournalLine = 1 << 16
+
+// readJournal replays path into the surviving records in LRU -> MRU
+// order, plus the count of dropped (torn/malformed) lines. A missing
+// journal is an empty store, not an error; replay itself never fails
+// on content — only the read can error.
+func readJournal(path string) (recs []journalRec, dropped int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+
+	// Replay into an order-tracking map: put inserts/refreshes at MRU,
+	// get touches to MRU, del removes; last op wins for duplicates.
+	type node struct {
+		rec journalRec
+		seq int
+	}
+	live := map[string]*node{}
+	seq := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 4096), maxJournalLine)
+	for sc.Scan() {
+		op, rec, ok := parseJournalLine(sc.Text())
+		if !ok {
+			dropped++
+			continue
+		}
+		seq++
+		switch op {
+		case "put":
+			live[rec.key] = &node{rec: rec, seq: seq}
+		case "get":
+			if n, exists := live[rec.key]; exists {
+				n.seq = seq
+			}
+		case "del":
+			delete(live, rec.key)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		// A single over-long line (or a read error) ends replay:
+		// everything before it already parsed, the tail is damage.
+		dropped++
+	}
+
+	out := make([]journalRec, 0, len(live))
+	order := make([]*node, 0, len(live))
+	for _, n := range live {
+		order = append(order, n)
+	}
+	// Sort ascending by last-touch sequence: LRU first.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && order[j-1].seq > order[j].seq; j-- {
+			order[j-1], order[j] = order[j], order[j-1]
+		}
+	}
+	for _, n := range order {
+		out = append(out, n.rec)
+	}
+	return out, dropped, nil
+}
+
+// encodeEntry renders one entry file: checked header, then payload.
+func encodeEntry(key string, data []byte, sumHex string) []byte {
+	hdr := fmt.Sprintf("%s %s %d %s\n", entryMagic, key, len(data), sumHex)
+	out := make([]byte, 0, len(hdr)+len(data))
+	out = append(out, hdr...)
+	return append(out, data...)
+}
+
+// parseEntry splits and validates an entry file's header, returning
+// the declared key, the payload, and the declared checksum. The
+// payload's actual hash is the caller's check (loadEntry) — this
+// function only enforces structure: magic, field count, and that the
+// declared size matches the payload present.
+func parseEntry(raw []byte) (key string, payload []byte, sumHex string, err error) {
+	nl := bytes.IndexByte(raw, '\n')
+	if nl < 0 {
+		return "", nil, "", fmt.Errorf("store: entry missing header")
+	}
+	f := strings.Split(string(raw[:nl]), " ")
+	if len(f) != 4 || f[0] != entryMagic {
+		return "", nil, "", fmt.Errorf("store: malformed entry header")
+	}
+	size, perr := strconv.ParseInt(f[2], 10, 64)
+	if perr != nil || size < 0 {
+		return "", nil, "", fmt.Errorf("store: bad entry size")
+	}
+	payload = raw[nl+1:]
+	if int64(len(payload)) != size {
+		return "", nil, "", fmt.Errorf("store: entry truncated: have %d bytes, header says %d", len(payload), size)
+	}
+	if !validKey(f[1]) || len(f[3]) != 64 {
+		return "", nil, "", fmt.Errorf("store: bad entry key or checksum")
+	}
+	return f[1], payload, f[3], nil
+}
+
+// sumHexOf is sugar for the tests: the hex SHA-256 of data.
+func sumHexOf(data []byte) string {
+	s := sha256.Sum256(data)
+	return hex.EncodeToString(s[:])
+}
