@@ -17,9 +17,9 @@
 GO ?= go
 TMP ?= /tmp/mhpc-smoke
 
-.PHONY: check vet build test race bench bench-smoke bench-snapshot bench-diff telemetry-smoke faults-smoke serve-smoke stream-smoke store-smoke load-smoke
+.PHONY: check vet build test race bench bench-smoke bench-snapshot bench-diff telemetry-smoke faults-smoke pdes-smoke serve-smoke stream-smoke store-smoke load-smoke
 
-check: vet build test race telemetry-smoke faults-smoke bench-smoke bench-diff serve-smoke stream-smoke store-smoke load-smoke
+check: vet build test race telemetry-smoke faults-smoke pdes-smoke bench-smoke bench-diff serve-smoke stream-smoke store-smoke load-smoke
 
 vet:
 	$(GO) vet ./...
@@ -44,32 +44,34 @@ bench-smoke:
 		./internal/sim ./internal/interconnect
 
 # Perf trajectory snapshot: run the headline benches and record them in
-# BENCH_v7.json (schema mhpc-bench-snapshot/v1; format documented in
+# BENCH_v8.json (schema mhpc-bench-snapshot/v1; format documented in
 # DESIGN.md, Engine performance). The engine/interconnect micro-benches
 # and the obs scrape path get real benchtime; the multi-second macro
-# benches — including the task-latency quantile bench and the serving
-# tier's cache-cold zipf mix, whose req/s custom metric records the
-# batched-vs-unbatched throughput gap — run a fixed few iterations.
+# benches — including the task-latency quantile bench, the serving
+# tier's cache-cold zipf mix, and the 192-node PDES scaling sweep whose
+# events/s metric records partitioned-engine throughput at P=1/2/4/8 —
+# run a fixed few iterations.
 bench-snapshot:
 	rm -rf $(TMP)-bench && mkdir -p $(TMP)-bench
 	$(GO) test -run '^$$' -bench 'EngineThroughput|TransferChunked|EventDispatch|ProcSwitch' \
 		-benchmem ./internal/sim ./internal/interconnect > $(TMP)-bench/out.txt
 	$(GO) test -run '^$$' -bench 'ScrapeRange|HistogramObserve' -benchmem ./internal/obs \
 		>> $(TMP)-bench/out.txt
-	$(GO) test -run '^$$' -bench 'RunAllJobs|Green500HPL|PoolTaskLatency' -benchtime 1x -benchmem . \
+	$(GO) test -run '^$$' -bench 'RunAllJobs|Green500HPL|PoolTaskLatency|PDESScaling' -benchtime 1x -benchmem . \
 		>> $(TMP)-bench/out.txt
 	$(GO) test -run '^$$' -bench 'ServeZipfCold' -benchtime 3x -benchmem ./cmd/mhpcd \
 		>> $(TMP)-bench/out.txt
-	$(GO) run ./cmd/benchsnap -o BENCH_v7.json < $(TMP)-bench/out.txt
-	$(GO) run ./cmd/jsoncheck BENCH_v7.json
+	$(GO) run ./cmd/benchsnap -o BENCH_v8.json < $(TMP)-bench/out.txt
+	$(GO) run ./cmd/jsoncheck BENCH_v8.json
 
-# Perf regression gate over the committed snapshots: the v7 trajectory
-# must hold the line against v6 — no throughput metric (events/s,
+# Perf regression gate over the committed snapshots: the v8 trajectory
+# must hold the line against v7 — no throughput metric (events/s,
 # chunks/s, req/s) down more than 10%, no steady-state bench newly
-# allocating. Pure file comparison, so it is deterministic on any
+# allocating; benches new in v8 (the PDES scaling sweep) are listed
+# informationally. Pure file comparison, so it is deterministic on any
 # machine.
 bench-diff:
-	$(GO) run ./cmd/benchdiff BENCH_v6.json BENCH_v7.json
+	$(GO) run ./cmd/benchdiff BENCH_v7.json BENCH_v8.json
 
 # End-to-end observability gate: run the full quick registry with every
 # telemetry exporter on, validate both JSON artefacts, and re-check
@@ -96,6 +98,17 @@ faults-smoke:
 	$(GO) run ./cmd/jsoncheck $(TMP)-faults/trace.json
 	$(GO) run ./cmd/jsoncheck -counters faults.injected,faults.node_fail,faults.node_hang,faults.link_degrade,faults.checkpoints,faults.restarts \
 		$(TMP)-faults/manifest.json
+
+# Intra-run PDES gate: the quick registry rendered by the partitioned
+# engine (-intra 2) must be byte-identical to the sequential engine's
+# (-intra 1) — the conservative-window determinism proof, end to end
+# through the real binary and its flag plumbing.
+pdes-smoke:
+	rm -rf $(TMP)-pdes && mkdir -p $(TMP)-pdes
+	$(GO) build -o $(TMP)-pdes/mhpc ./cmd/mhpc
+	$(TMP)-pdes/mhpc all -quick -intra 2 > $(TMP)-pdes/out-intra2.txt
+	$(TMP)-pdes/mhpc all -quick -intra 1 > $(TMP)-pdes/out-intra1.txt
+	cmp $(TMP)-pdes/out-intra2.txt $(TMP)-pdes/out-intra1.txt
 
 # End-to-end serving gate: build and exec the real mhpcd binary, then
 # drive it over HTTP — an uncached run, a byte-identical cached replay,

@@ -14,8 +14,10 @@
 //
 // Benchmarks are matched by name with any trailing "-<GOMAXPROCS>"
 // suffix stripped; benchmarks present in only one snapshot are
-// reported but not failed (the suite may legitimately grow or retire
-// entries). Exit status 1 on any regression, 2 on usage errors.
+// informational — listed deterministically (sorted) but never failed —
+// because the suite legitimately grows (a benchmark's first snapshot
+// has no baseline) and retires entries. Exit status 1 on any
+// regression, 2 on usage errors.
 package main
 
 import (
@@ -127,10 +129,19 @@ func main() {
 					name, *n.AllocsPerOp))
 		}
 	}
+	// Benchmarks present only in the new snapshot are informational:
+	// the suite legitimately grows (e.g. BenchmarkPDESScaling arriving
+	// in v8), and a first appearance has no baseline to regress from.
+	// They gate from the *next* snapshot pair onward, once committed.
+	var added []string
 	for n := range cur {
 		if _, ok := old[n]; !ok {
-			fmt.Printf("%-44s only in %s\n", n, flag.Arg(1))
+			added = append(added, n)
 		}
+	}
+	sort.Strings(added)
+	for _, n := range added {
+		fmt.Printf("%-44s new in %s (informational, not gated)\n", n, flag.Arg(1))
 	}
 
 	if len(regressions) > 0 {

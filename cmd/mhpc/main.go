@@ -5,8 +5,8 @@
 // Usage:
 //
 //	mhpc list                  list experiment ids and titles
-//	mhpc run [-quick] [-csv] [-j N] <id>...   run selected experiments
-//	mhpc all [-quick] [-j N]   regenerate every table and figure
+//	mhpc run [-quick] [-csv] [-j N] [-intra P] <id>...   run selected experiments
+//	mhpc all [-quick] [-j N] [-intra P]   regenerate every table and figure
 //	mhpc hpl [-nodes N] [-faults] [-fault-seed S] [-hours H]
 //	                           run weak-scaled HPL on Tibidabo; -faults adds a
 //	                           checkpointed production run with §6.1/§6.3 fault
@@ -74,6 +74,21 @@ func defaultJobsSpec() string {
 // rejected with a descriptive error.
 func parseJobs(s string) (int, error) { return core.ParseJobs(s) }
 
+// defaultIntraSpec is the textual -intra default: the MHPC_INTRA
+// environment variable when set (validated when the command runs),
+// else "1" — the sequential engine.
+func defaultIntraSpec() string {
+	if s, ok := os.LookupEnv("MHPC_INTRA"); ok {
+		return s
+	}
+	return "1"
+}
+
+// parseIntra validates an -intra / MHPC_INTRA value via the shared
+// strict parser: a positive integer, or "auto" for one partition per
+// CPU. Same rejection rules as -j.
+func parseIntra(s string) (int, error) { return core.ParseIntra(s) }
+
 // commandContext returns a context cancelled by SIGINT/SIGTERM, so a
 // long registry run aborts cleanly (engines unwind, goroutines
 // drained, partial output suppressed) instead of dying mid-write. The
@@ -118,8 +133,8 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   mhpc list                        list experiments
-  mhpc run [-quick] [-csv] [-j N] <id>... run selected experiments
-  mhpc all [-quick] [-j N]         regenerate every table and figure
+  mhpc run [-quick] [-csv] [-j N] [-intra P] <id>... run selected experiments
+  mhpc all [-quick] [-j N] [-intra P] regenerate every table and figure
   mhpc hpl [-nodes N] [-faults] [-fault-seed S] [-hours H]
                                    weak-scaled HPL + Green500 metric; -faults
                                    adds a fault-injected checkpointed run
@@ -130,6 +145,11 @@ func usage() {
 -j N runs experiments on a pool of N workers (a positive integer, or
 'auto' for one per CPU; default from MHPC_PARALLEL or 1); output is
 byte-identical at every -j.
+
+-intra P splits each simulated cluster into P conservative-PDES
+partitions running in parallel inside one simulation (a positive
+integer, or 'auto' for one per CPU; default from MHPC_INTRA or 1);
+output is byte-identical at every -intra.
 
 run and all also accept the telemetry flags:
   -trace-out FILE   write a chrome://tracing JSON trace of the run
@@ -294,6 +314,7 @@ func run(args []string) error {
 	quick := fs.Bool("quick", false, "reduced node counts / steps")
 	csv := fs.Bool("csv", false, "emit CSV instead of a text table")
 	jobs := fs.String("j", defaultJobsSpec(), "worker pool size (a positive integer, or 'auto' = one per CPU)")
+	intra := fs.String("intra", defaultIntraSpec(), "PDES partitions per simulation (a positive integer, or 'auto' = one per CPU)")
 	tf := addTelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -305,10 +326,14 @@ func run(args []string) error {
 	if err != nil {
 		return fmt.Errorf("run: %w", err)
 	}
+	it, err := parseIntra(*intra)
+	if err != nil {
+		return fmt.Errorf("run: %w", err)
+	}
 	ctx, cancel := commandContext()
 	defer cancel()
 	tel := startTelemetry(tf, "run", j, *quick)
-	tabs, err := harness.TablesContext(ctx, fs.Args(), harness.Options{Quick: *quick, Jobs: j})
+	tabs, err := harness.TablesContext(ctx, fs.Args(), harness.Options{Quick: *quick, Jobs: j, Intra: it})
 	if ferr := tel.finish(); err == nil {
 		err = ferr
 	}
@@ -334,6 +359,7 @@ func all(args []string) error {
 	fs := flag.NewFlagSet("all", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "reduced node counts / steps")
 	jobs := fs.String("j", defaultJobsSpec(), "worker pool size (a positive integer, or 'auto' = one per CPU)")
+	intra := fs.String("intra", defaultIntraSpec(), "PDES partitions per simulation (a positive integer, or 'auto' = one per CPU)")
 	tf := addTelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -342,10 +368,14 @@ func all(args []string) error {
 	if err != nil {
 		return fmt.Errorf("all: %w", err)
 	}
+	it, err := parseIntra(*intra)
+	if err != nil {
+		return fmt.Errorf("all: %w", err)
+	}
 	ctx, cancel := commandContext()
 	defer cancel()
 	tel := startTelemetry(tf, "all", j, *quick)
-	err = core.RunAllExperimentsContext(ctx, os.Stdout, *quick, j)
+	err = core.RunAllExperimentsOpts(ctx, os.Stdout, harness.Options{Quick: *quick, Jobs: j, Intra: it})
 	if ferr := tel.finish(); err == nil {
 		err = ferr
 	}

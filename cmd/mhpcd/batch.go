@@ -187,7 +187,7 @@ func (sw *sweep) run() {
 // unbatched runExperimentBytes renders, fanned out per key. Keys
 // sharing an id (seed is a replica salt) share one execution and one
 // rendering.
-func runSweepBytes(ctx context.Context, fam famKey, ps []runParams, jobs int) (map[string][]byte, error) {
+func runSweepBytes(ctx context.Context, fam famKey, ps []runParams, jobs, intra int) (map[string][]byte, error) {
 	var ids []string
 	seen := map[string]bool{}
 	for _, p := range ps {
@@ -196,7 +196,7 @@ func runSweepBytes(ctx context.Context, fam famKey, ps []runParams, jobs int) (m
 			ids = append(ids, p.ID)
 		}
 	}
-	tabs, err := harness.TablesContext(ctx, ids, harness.Options{Quick: fam.quick, Jobs: jobs})
+	tabs, err := harness.TablesContext(ctx, ids, harness.Options{Quick: fam.quick, Jobs: jobs, Intra: intra})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,111 @@
+package mpi
+
+import (
+	"reflect"
+	"testing"
+
+	"mobilehpc/internal/cluster"
+	"mobilehpc/internal/interconnect"
+	"mobilehpc/internal/soc"
+)
+
+// pdesWorkload mixes every communication primitive the partitioned
+// runtime has to get right: staggered compute, point-to-point
+// exchanges, collectives (tree-shaped Send/Recv traffic), nonblocking
+// overlap with a rendezvous-sized payload, and HostSync epochs.
+func pdesWorkload(r *Rank) {
+	n, me := r.Size(), r.ID()
+	acc := 0.0
+	for iter := 0; iter < 3; iter++ {
+		r.Compute(float64(me%5+1) * 20e-6)
+		if peer := me ^ 1; peer < n {
+			m := r.SendRecv(peer, 7, float64(me), 4096)
+			acc += m.Data.(float64)
+		}
+		acc = r.AllreduceF64(acc+float64(me*7+iter), func(a, b float64) float64 { return a + b })
+		r.HostSync()
+	}
+	// Nonblocking ring shift with a payload above the TCP/IP rendezvous
+	// threshold (none for TCP/IP — still a multi-chunk wire transfer).
+	next, prev := (me+1)%n, (me+n-1)%n
+	sreq := r.Isend(next, 9, me, 64<<10)
+	rreq := r.Irecv(prev, 9)
+	if m := r.WaitRecv(rreq); m.Src != prev || m.Data.(int) != prev {
+		panic("pdesWorkload: ring shift delivered the wrong message")
+	}
+	sreq.Wait()
+	r.Barrier()
+	got := r.Bcast(2%n, acc, 1024)
+	parts := r.Gather(0, got, 2048)
+	if me == 0 && len(parts) != n {
+		panic("pdesWorkload: short gather")
+	}
+}
+
+// TestRunIntraDifferential pins partitioned runs to the sequential
+// runtime: the final virtual time and every accumulated statistic must
+// be identical at any partition count.
+func TestRunIntraDifferential(t *testing.T) {
+	const nodes = 24
+	type result struct {
+		end        float64
+		bytes, num int64
+		mat        [][]int64
+	}
+	run := func(intra int) result {
+		cl := cluster.New(cluster.Config{
+			Nodes: nodes, Platform: soc.Tegra2, FGHz: 1.0,
+			Proto: interconnect.TCPIP(), LinkGbps: 1.0, UplinkGbps: 4.0,
+			SwitchRadix: 8, SwitchLatUS: 2.0, Intra: intra,
+		})
+		c, end := RunStats(cl, nodes, pdesWorkload)
+		return result{end, c.BytesSent, c.Msgs, c.CommMatrix()}
+	}
+	want := run(1)
+	if want.num == 0 || want.end <= 0 {
+		t.Fatalf("sequential run produced no traffic: %+v", want)
+	}
+	for _, intra := range []int{2, 3, 4, 8, nodes} {
+		got := run(intra)
+		if got.end != want.end {
+			t.Errorf("intra=%d: end %v, want %v", intra, got.end, want.end)
+		}
+		if got.bytes != want.bytes || got.num != want.num {
+			t.Errorf("intra=%d: stats %d bytes/%d msgs, want %d/%d",
+				intra, got.bytes, got.num, want.bytes, want.num)
+		}
+		if !reflect.DeepEqual(got.mat, want.mat) {
+			t.Errorf("intra=%d: communication matrix diverged", intra)
+		}
+	}
+}
+
+// TestTibidaboIntraMatchesSequential runs the same workload on the
+// Tibidabo preset (48-port switches: at 24 nodes a single leaf, so the
+// partition boundary falls inside one switch) at intra 1 vs 4.
+func TestTibidaboIntraMatchesSequential(t *testing.T) {
+	seqEnd := 0.0
+	for i, intra := range []int{1, 4} {
+		cl := cluster.TibidaboIntra(24, intra)
+		if (cl.Group != nil) != (intra > 1) {
+			t.Fatalf("intra=%d: Group presence wrong", intra)
+		}
+		end := Run(cl, 24, pdesWorkload)
+		if i == 0 {
+			seqEnd = end
+		} else if end != seqEnd {
+			t.Fatalf("intra=%d: end %v, want %v", intra, end, seqEnd)
+		}
+	}
+}
+
+// TestRunTracedPanicsPartitioned pins the guard: tracing records
+// per-rank intervals into one shared trace and is sequential-only.
+func TestRunTracedPanicsPartitioned(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunTraced on a partitioned cluster should panic")
+		}
+	}()
+	RunTraced(cluster.TibidaboIntra(8, 2), 8, func(r *Rank) {})
+}

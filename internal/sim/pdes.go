@@ -1,0 +1,703 @@
+package sim
+
+// Conservative (window-based) parallel discrete-event simulation.
+//
+// A Group partitions one simulation across P engines, each stepped by
+// its own persistent worker goroutine. The coordinator (the goroutine
+// that calls Group.Run) repeatedly computes a safe horizon H and
+// releases every partition to dispatch all events with time < H in
+// parallel; at the window barrier, cross-partition events emitted
+// during the window (CrossAt) are exchanged and inserted in a single
+// deterministic order, so the interleaving of any two interacting
+// events is identical to the sequential engine's (time, seq) order.
+//
+// # The horizon
+//
+// Let N = the minimum queued-event time across partitions. Any new
+// cross-partition event must be posted by some event, which fires at
+// t >= N; the model guarantees (and the exchange asserts) that a post
+// at time t arrives no earlier than t + floor, where floor is the
+// group lookahead — in this codebase the minimum MPI injection cost,
+// SendCost(0), extracted from the interconnect protocol. In-flight
+// flows may cross sooner than N + floor, but each holds a Promise: a
+// per-flow lower bound on its next unposted cross-partition arrival,
+// registered when the flow is born and advanced as it progresses.
+// Hence every arrival that can materialize is at or after
+//
+//	H = min( N + floor, max(N, min over active promises) )
+//
+// and dispatching strictly below H in parallel is safe: no partition
+// can receive an event in its past. The max(N, ...) leg keeps a stale
+// promise (one whose flow is queued behind other events) from pushing
+// H below N and stalling the loop.
+//
+// # The tie-step
+//
+// When H collapses to N (a promise at or below N, or floor = 0), the
+// window is empty and the loop falls back to a sequential tie-step: it
+// runs each partition holding events at exactly N (in partition
+// order), exchanges, and repeats until no partition holds an event at
+// <= N. Zero-gap cascades — equal-time multi-hop chains, zero-byte
+// messages — therefore cost parallelism, never correctness.
+//
+// # Determinism
+//
+// Within a partition, order is the engine's (time, seq) total order.
+// Cross-partition arrivals are sorted by (time, source partition,
+// source emission seq) before insertion, so insertion order — and
+// hence the destination's seq order among equal-time arrivals — is
+// independent of worker scheduling. Output is byte-identical to the
+// sequential engine whenever interacting equal-time cross-partition
+// ties are emitted by the same sources in the same relative order,
+// which the golden wall verifies across partition counts.
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Group owns the partitions of one conservatively-parallelized
+// simulation run. Build it with NewGroup, wire model state onto the
+// per-partition engines (Engines), then call Run from the coordinating
+// goroutine. A Group is single-use: after Run returns (or panics) the
+// engines are not reusable.
+type Group struct {
+	parts   []*partition
+	floor   float64 // static lookahead added to the min queued time
+	rends   []*Rendezvous
+	xbuf    []crossEvent // scratch for the window exchange
+	windows int64
+	stalls  int64
+	running bool
+	// inlineAll runs every window on the coordinator goroutine instead
+	// of the partition workers. On a single-P runtime the workers can
+	// never overlap anyway, so their channel handshakes — two scheduler
+	// switches per active partition per window — are pure overhead;
+	// inline execution dispatches the same events in the same per-window
+	// partition order, so output is byte-identical across modes.
+	inlineAll bool
+}
+
+// partition couples one engine with its worker goroutine and the
+// window-local state the coordinator drains at barriers. Everything
+// below cmd/res is touched either by the worker (during a window) or
+// by the coordinator (between windows); the channel handshake is the
+// happens-before edge between the two.
+type partition struct {
+	id  int
+	g   *Group
+	eng *Engine
+	cmd chan float64  // coordinator -> worker: run window to horizon (NaN = teardown)
+	res chan struct{} // worker -> coordinator: window done
+	// out collects cross-partition emissions of the current window,
+	// in emission order; outSeq is the deterministic per-partition
+	// emission counter used as the final merge tie-breaker.
+	out    []crossEvent
+	outSeq uint64
+	// promises is the set of active per-flow lower bounds (swap-remove
+	// indexed by Promise.idx). promMu guards the set and the bounds:
+	// a flow advances its promise from whichever partition currently
+	// hosts it, which may differ from the owning partition registering
+	// new flows at the same host time.
+	promMu   sync.Mutex
+	promises []*Promise
+	// rendStage buffers Rendezvous arrivals until the next barrier.
+	rendStage []rendArrival
+	active    bool    // released in the current window
+	panicV    any     // recovered panic of the last window, if any
+	nextT     float64 // NextTime cached by the coordinator's horizon scan
+	hasNext   bool    // nextT is valid (queue non-empty)
+	// stopOnCross makes the first cross-partition emission stop the
+	// engine: set for solo windows, whose extended horizon is only safe
+	// while the rest of the group receives no new input (see Group.Run).
+	stopOnCross bool
+}
+
+// crossEvent is one cross-partition emission: fn to run at time t on
+// partition dst, merged deterministically by (t, src, seq).
+type crossEvent struct {
+	t   float64
+	src int
+	seq uint64
+	dst int
+	fn  func()
+}
+
+// NewGroup returns a group of n fresh engines (each picking up the
+// caller's default observer and goroutine-bound abort flag, exactly
+// like NewEngine). n = 1 is legal but pointless: callers should prefer
+// a plain engine, which this package's sequential path serves
+// byte-identically with no coordination overhead.
+func NewGroup(n int) *Group {
+	if n < 1 {
+		panic(fmt.Sprintf("sim: group size %d out of range", n))
+	}
+	g := &Group{inlineAll: runtime.GOMAXPROCS(0) == 1}
+	for i := 0; i < n; i++ {
+		e := NewEngine()
+		e.grp, e.part = g, i
+		g.parts = append(g.parts, &partition{
+			id:  i,
+			g:   g,
+			eng: e,
+			cmd: make(chan float64),
+			res: make(chan struct{}),
+		})
+	}
+	return g
+}
+
+// Size reports the partition count.
+func (g *Group) Size() int { return len(g.parts) }
+
+// Engine returns partition i's engine.
+func (g *Group) Engine(i int) *Engine { return g.parts[i].eng }
+
+// PartitionID reports which partition of its group the engine belongs
+// to, or -1 for a solo engine.
+func (e *Engine) PartitionID() int {
+	if e.grp == nil {
+		return -1
+	}
+	return e.part
+}
+
+// Group returns the partition group the engine belongs to, or nil for
+// a solo engine.
+func (e *Engine) Group() *Group { return e.grp }
+
+// SetLookahead sets the group's static lookahead floor: a guarantee by
+// the model that an event dispatched at time t never posts a
+// cross-partition arrival earlier than t + floor. Zero is always safe
+// (every window degrades to the sequential tie-step); larger values
+// buy parallelism. Must be set before Run.
+func (g *Group) SetLookahead(floor float64) {
+	if floor < 0 || math.IsNaN(floor) {
+		panic(fmt.Sprintf("sim: negative or NaN lookahead %v", floor))
+	}
+	g.floor = floor
+}
+
+// Windows reports how many synchronization windows the run executed.
+func (g *Group) Windows() int64 { return g.windows }
+
+// Stalls reports how many of those windows were sequential tie-steps
+// (horizon pinned at the minimum event time, no parallelism).
+func (g *Group) Stalls() int64 { return g.stalls }
+
+// CrossAt schedules fn at absolute virtual time t on engine dst. On
+// the same engine it is exactly AtFunc; on a sibling partition the
+// event is buffered in the emitting partition's outbox and inserted at
+// the next window barrier, ordered by (t, emitting partition, emission
+// seq) so the merge is independent of worker scheduling. Must be
+// called from the emitting engine's thread of control, like any other
+// scheduling call.
+func (e *Engine) CrossAt(dst *Engine, t float64, fn func()) {
+	if dst == e {
+		e.AtFunc(t, fn)
+		return
+	}
+	if e.grp == nil || dst.grp != e.grp {
+		panic("sim: CrossAt between engines of different groups")
+	}
+	p := e.grp.parts[e.part]
+	p.outSeq++
+	p.out = append(p.out, crossEvent{t: t, src: p.id, seq: p.outSeq, dst: dst.part, fn: fn})
+	if p.stopOnCross {
+		// Solo window: the extended horizon assumed the other
+		// partitions see no new input. That just changed — park at the
+		// end of this event and let the coordinator re-plan.
+		e.Stop()
+	}
+}
+
+// Promise is a per-flow lower bound on the flow's next unposted
+// cross-partition arrival. A nil Promise (what NewPromise returns on a
+// solo engine) is a no-op, so model code can maintain promises
+// unconditionally.
+type Promise struct {
+	p   *partition
+	t   float64
+	idx int
+}
+
+// NewPromise registers a promise at lower bound t on the calling
+// engine's partition. Returns nil on a solo engine.
+func (e *Engine) NewPromise(t float64) *Promise {
+	if e.grp == nil {
+		return nil
+	}
+	part := e.grp.parts[e.part]
+	part.promMu.Lock()
+	pr := &Promise{p: part, t: t, idx: len(part.promises)}
+	part.promises = append(part.promises, pr)
+	part.promMu.Unlock()
+	return pr
+}
+
+// Advance raises the bound to t (never lowers it). The flow must not
+// have unposted cross-partition arrivals earlier than t. May be called
+// from whichever partition currently hosts the flow.
+func (pr *Promise) Advance(t float64) {
+	if pr == nil || pr.p == nil {
+		return
+	}
+	pr.p.promMu.Lock()
+	if t > pr.t {
+		pr.t = t
+	}
+	pr.p.promMu.Unlock()
+}
+
+// Release retires the promise: the flow will post no further
+// cross-partition arrivals. Safe to call twice.
+func (pr *Promise) Release() {
+	if pr == nil || pr.p == nil {
+		return
+	}
+	part := pr.p
+	part.promMu.Lock()
+	last := len(part.promises) - 1
+	moved := part.promises[last]
+	part.promises[pr.idx] = moved
+	moved.idx = pr.idx
+	part.promises[last] = nil
+	part.promises = part.promises[:last]
+	pr.p = nil
+	part.promMu.Unlock()
+}
+
+// rendArrival is one staged Rendezvous arrival: rank arrived at
+// virtual time t on eng; fn resumes it (as an event on eng) when the
+// rendezvous releases.
+type rendArrival struct {
+	rv   *Rendezvous
+	t    float64
+	rank int
+	eng  *Engine
+	fn   func(t float64)
+}
+
+// Rendezvous is a total-count barrier over virtual time, the
+// partitioned counterpart of a zero-latency global synchronization
+// (mpi.HostSync): all participants park, and when the coordinator has
+// seen `total` arrivals it resumes every one of them at the maximum
+// arrival time. Release order matches the sequential semantics: the
+// latest arriver first (in the sequential engine it never parks — it
+// keeps running inline), then the rest in ascending rank order (the
+// order their queued wakeups fire sequentially). Reusable: the count
+// resets after each release. Create before Run (or from the
+// coordinator); Arrive from partition context.
+type Rendezvous struct {
+	g       *Group
+	total   int
+	waiters []rendArrival
+}
+
+// NewRendezvous returns a barrier that releases once per `total`
+// arrivals.
+func (g *Group) NewRendezvous(total int) *Rendezvous {
+	if total < 1 {
+		panic(fmt.Sprintf("sim: rendezvous total %d out of range", total))
+	}
+	rv := &Rendezvous{g: g, total: total}
+	g.rends = append(g.rends, rv)
+	return rv
+}
+
+// Arrive stages rank's arrival at e's current virtual time; fn runs as
+// an event on e at the release time once all participants have
+// arrived. The caller must park (Suspend) after Arrive; fn typically
+// wakes it.
+func (rv *Rendezvous) Arrive(e *Engine, rank int, fn func(t float64)) {
+	if e.grp != rv.g {
+		panic("sim: Rendezvous.Arrive from an engine outside the group")
+	}
+	part := e.grp.parts[e.part]
+	part.rendStage = append(part.rendStage, rendArrival{rv: rv, t: e.now, rank: rank, eng: e, fn: fn})
+}
+
+// completeRendezvous drains staged arrivals (in partition order, so
+// the waiter list is deterministic) and releases every rendezvous that
+// reached its total.
+func (g *Group) completeRendezvous() {
+	for _, p := range g.parts {
+		for _, a := range p.rendStage {
+			a.rv.waiters = append(a.rv.waiters, a)
+		}
+		p.rendStage = p.rendStage[:0]
+	}
+	for _, rv := range g.rends {
+		if len(rv.waiters) >= rv.total {
+			rv.release()
+		}
+	}
+}
+
+// release resumes all waiters at the maximum arrival time: latest
+// arriver first, then rank order. "Latest" among equal-time arrivals
+// is the last in the deterministic drain order (partition, then
+// staging order) — the closest partitioned analogue of the sequential
+// engine's dispatch order.
+func (rv *Rendezvous) release() {
+	if len(rv.waiters) != rv.total {
+		panic(fmt.Sprintf("sim: rendezvous overrun: %d waiters, total %d", len(rv.waiters), rv.total))
+	}
+	last := 0
+	tmax := rv.waiters[0].t
+	for i, w := range rv.waiters {
+		if w.t >= tmax {
+			tmax, last = w.t, i
+		}
+	}
+	rest := make([]rendArrival, 0, len(rv.waiters)-1)
+	rest = append(rest, rv.waiters[:last]...)
+	rest = append(rest, rv.waiters[last+1:]...)
+	sort.SliceStable(rest, func(i, j int) bool { return rest[i].rank < rest[j].rank })
+	post := func(w rendArrival) {
+		if w.eng.now > tmax {
+			panic(fmt.Sprintf("sim: rendezvous release at %v in partition %d's past (now %v)",
+				tmax, w.eng.part, w.eng.now))
+		}
+		fn := w.fn
+		w.eng.AtFunc(tmax, func() { fn(tmax) })
+	}
+	post(rv.waiters[last])
+	for _, w := range rest {
+		post(w)
+	}
+	rv.waiters = rv.waiters[:0]
+}
+
+// Run executes the partitioned simulation to completion and returns
+// the final virtual time (the maximum over partitions). It must be
+// called once, from the coordinating goroutine; partition workers are
+// spawned here and are all gone when it returns — including on the
+// abort path, where every partition's parked processes are terminated
+// before the coordinator re-panics the abort (same contract as the
+// sequential Engine.Run).
+func (g *Group) Run() float64 {
+	if g.running {
+		panic("sim: Group.Run called twice")
+	}
+	g.running = true
+	// One runtime.Stack parse for the coordinator's whole run: solo
+	// windows and tie-steps drive partition engines inline on this
+	// goroutine, skipping the worker channel handshake entirely.
+	coordGid := gid()
+	if !g.inlineAll {
+		for _, p := range g.parts {
+			go p.worker()
+		}
+		defer func() {
+			for _, p := range g.parts {
+				close(p.cmd)
+			}
+		}()
+	}
+
+	var panicV any
+	for panicV == nil {
+		g.completeRendezvous()
+		// Horizon: min queued time across partitions, plus floor,
+		// clamped by active promises (themselves clamped to >= next —
+		// see the package comment's stale-promise argument).
+		next := math.Inf(1)
+		bound := math.Inf(1)
+		for _, p := range g.parts {
+			p.nextT, p.hasNext = p.eng.NextTime()
+			if p.hasNext && p.nextT < next {
+				next = p.nextT
+			}
+			// No promMu here: every partition is parked between windows
+			// (inline mode shares this goroutine; worker mode orders the
+			// last window's writes before the res receive), so the scan
+			// has exclusive access.
+			for _, pr := range p.promises {
+				if pr.t < bound {
+					bound = pr.t
+				}
+			}
+		}
+		if math.IsInf(next, 1) {
+			break // quiescent: no events anywhere, no completable rendezvous
+		}
+		if bound < next {
+			bound = next
+		}
+		h := next + g.floor
+		if bound < h {
+			h = bound
+		}
+		g.windows++
+		if h > next {
+			nAct := 0
+			var solo *partition
+			for _, p := range g.parts {
+				p.active = p.hasNext && p.nextT < h
+				if p.active {
+					nAct++
+					solo = p
+				}
+			}
+			if nAct == 1 {
+				// Solo window: only one partition holds work below the
+				// horizon, so a barrier buys nothing — run it inline on
+				// the coordinator, and extend the horizon. With every
+				// other partition idle, the only bounds that matter are
+				// the promises (in-flight flows whose chains this
+				// partition may host) and the siblings' own queued work
+				// (whose events may spawn flows, first crossing no
+				// earlier than next2 + floor):
+				//
+				//	h2 = min( next2 + floor, bound )   (>= h)
+				//
+				// The remaining hazard is feedback: an arrival this
+				// window posts could make an idle sibling react back
+				// into our future. stopOnCross closes it — the engine
+				// parks at the first cross-partition emission and the
+				// coordinator re-plans. Serial phases of the model
+				// (single-rank setup, one-partition cascades) thus
+				// collapse into a handful of long windows instead of
+				// thousands of floor-sized ones. Legal arrivals are
+				// still at or after the unextended horizon — unpromised
+				// posts pay floor from an event at >= next, promises
+				// are >= bound >= h, promises born in-window pay
+				// SendCost >= floor — so the exchange keeps asserting
+				// against h, not h2.
+				next2 := math.Inf(1)
+				for _, p := range g.parts {
+					if p != solo && p.hasNext && p.nextT < next2 {
+						next2 = p.nextT
+					}
+				}
+				h2 := next2 + g.floor
+				if bound < h2 {
+					h2 = bound
+				}
+				if h2 < h {
+					h2 = h
+				}
+				g.runInline(solo, coordGid, h2, true)
+				panicV = g.collectPanic()
+				if panicV == nil {
+					panicV = g.exchange(h)
+				}
+			} else if g.inlineAll {
+				// Single-P runtime: the workers could not overlap, so
+				// run the window's partitions inline in partition
+				// order — the exchange already makes window results
+				// order-independent, so output matches the worker mode
+				// byte for byte.
+				for _, p := range g.parts {
+					if p.active {
+						g.runInline(p, coordGid, h, false)
+					}
+				}
+				panicV = g.collectPanic()
+				if panicV == nil {
+					panicV = g.exchange(h)
+				}
+			} else {
+				// Parallel window: release every partition holding work
+				// below the horizon, then barrier.
+				for _, p := range g.parts {
+					if p.active {
+						p.cmd <- h
+					}
+				}
+				for _, p := range g.parts {
+					if p.active {
+						<-p.res
+					}
+				}
+				panicV = g.collectPanic()
+				if panicV == nil {
+					panicV = g.exchange(h)
+				}
+			}
+		} else {
+			// Tie-step: the horizon is pinned at the minimum event
+			// time. Run the tied partitions one at a time (partition
+			// order), exchanging between rounds until no events at or
+			// below the tie time remain.
+			g.stalls++
+			panicV = g.tieStep(coordGid, next)
+		}
+	}
+
+	if panicV != nil {
+		// Tear down surviving partitions' processes so no goroutine
+		// leaks, then unwind the coordinator with a deterministic
+		// panic value.
+		for _, p := range g.parts {
+			if g.inlineAll {
+				func() {
+					defer func() { recover() }()
+					p.eng.killProcs()
+				}()
+				continue
+			}
+			p.cmd <- math.NaN()
+			<-p.res
+		}
+		panic(panicV)
+	}
+	end := 0.0
+	for _, p := range g.parts {
+		if t := p.eng.Now(); t > end {
+			end = t
+		}
+	}
+	return end
+}
+
+// runInline drives one partition's window on the coordinator goroutine
+// — no channel handshake — recording any panic exactly as the worker
+// would. stopOnCross makes the engine park at its first cross-partition
+// emission, which solo windows need to keep their extended horizon
+// honest (tie-steps pass false: their bound is already exact).
+func (g *Group) runInline(p *partition, coordGid int64, h float64, stopOnCross bool) {
+	p.panicV = nil
+	p.stopOnCross = stopOnCross
+	func() {
+		defer func() { p.panicV = recover() }()
+		p.eng.runAs(coordGid, h, true)
+	}()
+	p.stopOnCross = false
+}
+
+// tieStep executes every event at exactly time tie, sequentially per
+// partition with exchange rounds in between, so zero-lookahead
+// cascades (equal-time cross-partition chains) resolve exactly as the
+// sequential engine would — inline on the coordinator, since the step
+// is serial by construction. Returns the first panic value, if any.
+func (g *Group) tieStep(coordGid int64, tie float64) any {
+	lim := math.Nextafter(tie, math.Inf(1))
+	for {
+		ran := false
+		for _, p := range g.parts {
+			if t, ok := p.eng.NextTime(); ok && t <= tie {
+				g.runInline(p, coordGid, lim, false)
+				ran = true
+			}
+		}
+		if pv := g.collectPanic(); pv != nil {
+			return pv
+		}
+		if pv := g.exchange(tie); pv != nil {
+			return pv
+		}
+		if !ran {
+			return nil
+		}
+		again := false
+		for _, p := range g.parts {
+			if t, ok := p.eng.NextTime(); ok && t <= tie {
+				again = true
+				break
+			}
+		}
+		if !again {
+			return nil
+		}
+	}
+}
+
+// exchange merges every partition's outbox into the destination
+// engines in (time, source partition, emission seq) order, asserting
+// the conservative invariant that no arrival lands inside the window
+// just executed. Runs on the coordinator with all workers parked.
+func (g *Group) exchange(minAllowed float64) any {
+	n := 0
+	for _, p := range g.parts {
+		n += len(p.out)
+	}
+	if n == 0 {
+		return nil
+	}
+	buf := g.xbuf[:0]
+	for _, p := range g.parts {
+		buf = append(buf, p.out...)
+		for i := range p.out {
+			p.out[i].fn = nil
+		}
+		p.out = p.out[:0]
+	}
+	sort.Slice(buf, func(i, j int) bool {
+		a, b := &buf[i], &buf[j]
+		if a.t != b.t {
+			return a.t < b.t
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.seq < b.seq
+	})
+	for _, ce := range buf {
+		if ce.t < minAllowed {
+			g.xbuf = buf
+			return fmt.Errorf("sim: conservative lookahead violation: cross event from partition %d at t=%v inside window bounded by %v",
+				ce.src, ce.t, minAllowed)
+		}
+		g.parts[ce.dst].eng.AtFunc(ce.t, ce.fn)
+	}
+	for i := range buf {
+		buf[i].fn = nil
+	}
+	g.xbuf = buf
+	return nil
+}
+
+// collectPanic returns the deterministic representative of the panics
+// recorded by the last window: the lowest-partition non-abort panic if
+// any (a real bug must not be masked by sibling aborts), otherwise the
+// lowest-partition *AbortError, otherwise nil.
+func (g *Group) collectPanic() any {
+	var abortV any
+	for _, p := range g.parts {
+		if p.panicV == nil {
+			continue
+		}
+		if _, ok := p.panicV.(*AbortError); ok {
+			if abortV == nil {
+				abortV = p.panicV
+			}
+			continue
+		}
+		return p.panicV
+	}
+	return abortV
+}
+
+// worker is a partition's persistent goroutine: one window (or
+// teardown) per command, result signalled after the engine parks.
+func (p *partition) worker() {
+	// One runtime.Stack parse for the worker's whole lifetime: the
+	// dispatch loop re-enters once per window, far too often to re-learn
+	// its own goroutine id each time.
+	wg := gid()
+	for h := range p.cmd {
+		if math.IsNaN(h) {
+			// Teardown: unwind this partition's surviving processes.
+			// Panics out of process defers are discarded — the run is
+			// already being cancelled.
+			func() {
+				defer func() { recover() }()
+				p.eng.killProcs()
+			}()
+			p.panicV = nil
+			p.res <- struct{}{}
+			continue
+		}
+		p.panicV = nil
+		func() {
+			defer func() { p.panicV = recover() }()
+			p.eng.runAs(wg, h, true)
+		}()
+		p.res <- struct{}{}
+	}
+}

@@ -1,0 +1,288 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tokenRun executes the same token-ring workload either on one solo
+// engine (parts == 0) or on a Group of `parts` partitions, and returns
+// the per-node event logs plus the final virtual time. Nodes pass
+// tokens around a ring with link latency 1.0 (>= the group lookahead),
+// so the workload exercises parallel windows and the cross-partition
+// exchange, while dst==src hops stay on the AtFunc fast path.
+func tokenRun(nodes, tokens, hops, parts int) ([][]string, float64) {
+	var engs []*Engine
+	var g *Group
+	if parts == 0 {
+		e := NewEngine()
+		engs = make([]*Engine, nodes)
+		for i := range engs {
+			engs[i] = e
+		}
+	} else {
+		g = NewGroup(parts)
+		g.SetLookahead(1.0)
+		engs = make([]*Engine, nodes)
+		for i := range engs {
+			engs[i] = g.Engine(i * parts / nodes)
+		}
+	}
+	logs := make([][]string, nodes)
+	var hop func(tok, h, node int)
+	hop = func(tok, h, node int) {
+		e := engs[node]
+		logs[node] = append(logs[node], fmt.Sprintf("t=%.3f tok=%d hop=%d", e.Now(), tok, h))
+		if h == hops {
+			return
+		}
+		next := (node + 1) % nodes
+		e.CrossAt(engs[next], e.Now()+1.0, func() { hop(tok, h+1, next) })
+	}
+	for tok := 0; tok < tokens; tok++ {
+		tok := tok
+		node := tok % nodes
+		engs[node].AtFunc(float64(tok)*0.125, func() { hop(tok, 0, node) })
+	}
+	if parts == 0 {
+		return logs, engs[0].RunAll()
+	}
+	return logs, g.Run()
+}
+
+// TestGroupDifferential pins the partitioned runs to the sequential
+// engine: identical per-node event logs and final time at every
+// partition count.
+func TestGroupDifferential(t *testing.T) {
+	want, wantEnd := tokenRun(12, 12, 24, 0)
+	for _, parts := range []int{1, 2, 3, 4, 8} {
+		got, end := tokenRun(12, 12, 24, parts)
+		if end != wantEnd {
+			t.Errorf("parts=%d: final time %v, want %v", parts, end, wantEnd)
+		}
+		for n := range want {
+			if len(got[n]) != len(want[n]) {
+				t.Fatalf("parts=%d node %d: %d events, want %d", parts, n, len(got[n]), len(want[n]))
+			}
+			for i := range want[n] {
+				if got[n][i] != want[n][i] {
+					t.Fatalf("parts=%d node %d event %d: %q, want %q", parts, n, i, got[n][i], want[n][i])
+				}
+			}
+		}
+	}
+}
+
+// TestGroupTieStep drives equal-time cross-partition cascades with
+// zero lookahead: every window is a sequential tie-step, and the
+// shared log (safe exactly because tie-steps serialize partitions)
+// must come out in deterministic partition-hop order.
+func TestGroupTieStep(t *testing.T) {
+	g := NewGroup(4)
+	var log []string
+	var hop func(chain, p int)
+	hop = func(chain, p int) {
+		e := g.Engine(p)
+		log = append(log, fmt.Sprintf("chain=%d part=%d t=%v", chain, p, e.Now()))
+		if p < 3 {
+			e.CrossAt(g.Engine(p+1), e.Now(), func() { hop(chain, p+1) })
+		}
+	}
+	for chain := 0; chain < 3; chain++ {
+		chain := chain
+		g.Engine(0).AtFunc(5.0, func() { hop(chain, 0) })
+	}
+	end := g.Run()
+	if end != 5.0 {
+		t.Fatalf("end = %v, want 5.0", end)
+	}
+	if len(log) != 12 {
+		t.Fatalf("log has %d entries, want 12", len(log))
+	}
+	// All chains run at partition 0 first (tie-step partition order),
+	// then the cross hops cascade: each exchange round moves every
+	// chain one partition further, in (src partition, emission seq)
+	// order — chains stay in 0,1,2 order within a partition.
+	i := 0
+	for p := 0; p < 4; p++ {
+		for chain := 0; chain < 3; chain++ {
+			want := fmt.Sprintf("chain=%d part=%d t=5", chain, p)
+			if log[i] != want {
+				t.Fatalf("log[%d] = %q, want %q", i, log[i], want)
+			}
+			i++
+		}
+	}
+	if g.Stalls() == 0 {
+		t.Fatal("expected tie-step windows to be counted as stalls")
+	}
+}
+
+// TestPromiseGatesHorizon covers the conditional-lookahead path: a
+// flow crossing sooner than next+floor is legal when (and only when) a
+// promise bounds it.
+func TestPromiseGatesHorizon(t *testing.T) {
+	run := func(withPromise bool) (err any) {
+		defer func() { err = recover() }()
+		g := NewGroup(2)
+		g.SetLookahead(5.0)
+		e0, e1 := g.Engine(0), g.Engine(1)
+		var pr *Promise
+		if withPromise {
+			pr = e0.NewPromise(10.5)
+		}
+		delivered := false
+		e0.AtFunc(10.0, func() {
+			e0.CrossAt(e1, 10.5, func() { delivered = true })
+			pr.Release()
+		})
+		e1.AtFunc(100.0, func() {})
+		g.Run()
+		if !delivered {
+			t.Fatal("cross event not delivered")
+		}
+		return nil
+	}
+	if err := run(true); err != nil {
+		t.Fatalf("promised run panicked: %v", err)
+	}
+	err := run(false)
+	if err == nil {
+		t.Fatal("unpromised early crossing should trip the conservative assertion")
+	}
+	if !strings.Contains(fmt.Sprint(err), "lookahead violation") {
+		t.Fatalf("unexpected panic: %v", err)
+	}
+}
+
+// TestRendezvous checks the virtual-time barrier: all participants
+// resume at the maximum arrival time, and the barrier is reusable
+// across rounds.
+func TestRendezvous(t *testing.T) {
+	g := NewGroup(2)
+	const ranks, rounds = 4, 3
+	rv := g.NewRendezvous(ranks)
+	var resumed [ranks][]float64
+	for r := 0; r < ranks; r++ {
+		r := r
+		e := g.Engine(r % 2)
+		e.Go(fmt.Sprintf("rank%d", r), func(p *Proc) {
+			for round := 0; round < rounds; round++ {
+				p.Wait(float64(r+1) * float64(round+1)) // staggered arrivals
+				rv.Arrive(e, r, func(t float64) { p.Wake() })
+				p.Suspend()
+				resumed[r] = append(resumed[r], p.Now())
+			}
+		})
+	}
+	g.Run()
+	// Round k's release time is the slowest rank's arrival: rank 3
+	// waits 4*(round+1) past the previous release.
+	want := 0.0
+	for round := 0; round < rounds; round++ {
+		want += 4 * float64(round+1)
+		for r := 0; r < ranks; r++ {
+			if len(resumed[r]) <= round {
+				t.Fatalf("rank %d resumed %d times, want %d", r, len(resumed[r]), rounds)
+			}
+			if resumed[r][round] != want {
+				t.Fatalf("rank %d round %d resumed at %v, want %v", r, round, resumed[r][round], want)
+			}
+		}
+	}
+}
+
+// TestGroupAbort aborts a running group and requires the sequential
+// contract to hold across partitions: Run panics *AbortError and no
+// partition worker or parked process goroutine survives.
+func TestGroupAbort(t *testing.T) {
+	before := runtime.NumGoroutine()
+	flag := NewAbortFlag()
+	unbind := BindAbort(flag)
+	g := NewGroup(4)
+	unbind()
+	for i := 0; i < g.Size(); i++ {
+		e := g.Engine(i)
+		// A parked process per partition (must be terminated, not
+		// leaked) and a self-perpetuating event chain (keeps the run
+		// alive until the abort lands).
+		e.Go(fmt.Sprintf("parked%d", i), func(p *Proc) { p.Suspend() })
+		var tick func()
+		tick = func() { e.After(1.0, tick) }
+		e.AtFunc(0, tick)
+	}
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		flag.Abort(nil)
+	}()
+	start := time.Now()
+	func() {
+		defer func() {
+			r := recover()
+			if _, ok := r.(*AbortError); !ok {
+				t.Errorf("Run panicked with %v, want *AbortError", r)
+			}
+		}()
+		g.Run()
+		t.Error("Run returned without abort")
+	}()
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("abort took %v", d)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		buf := make([]byte, 1<<16)
+		t.Fatalf("leaked goroutines: %d > %d\n%s", n, before, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+// TestGroupQuiescentWithLiveProcs mirrors the sequential deadlock
+// shape: Run returns when no partition holds events, leaving the
+// parked processes countable via LiveProcs.
+func TestGroupQuiescentWithLiveProcs(t *testing.T) {
+	g := NewGroup(2)
+	g.Engine(0).Go("stuck", func(p *Proc) { p.Suspend() })
+	end := g.Run()
+	if end != 0 {
+		t.Fatalf("end = %v, want 0", end)
+	}
+	live := 0
+	for i := 0; i < g.Size(); i++ {
+		live += g.Engine(i).LiveProcs()
+	}
+	if live != 1 {
+		t.Fatalf("live procs = %d, want 1", live)
+	}
+	// Clean up the parked goroutine so later tests see a stable count.
+	g.Engine(0).killProcs()
+}
+
+// TestRunBefore pins the strict-limit semantics RunBefore adds over
+// Run: events at the limit stay queued and the clock does not advance.
+func TestRunBefore(t *testing.T) {
+	e := NewEngine()
+	var fired []float64
+	for _, tt := range []float64{1, 2, 3} {
+		tt := tt
+		e.AtFunc(tt, func() { fired = append(fired, tt) })
+	}
+	if got := e.RunBefore(2); got != 1 {
+		t.Fatalf("RunBefore returned %v, want 1", got)
+	}
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("fired = %v, want [1]", fired)
+	}
+	if tn, ok := e.NextTime(); !ok || tn != 2 {
+		t.Fatalf("NextTime = %v,%v want 2,true", tn, ok)
+	}
+	if got := e.RunBefore(math.Inf(1)); got != 3 {
+		t.Fatalf("RunBefore(inf) returned %v, want 3", got)
+	}
+}
