@@ -11,15 +11,18 @@
 # job cancellation, and the Prometheus /metrics exposition — against
 # the same real binary, the store smoke run that kills and restarts
 # that binary on one -store-dir and requires every precomputed key to
-# survive as a cache hit with zero re-executions, and the load smoke
+# survive as a cache hit with zero re-executions, the load smoke
 # run that replays a zipf request mix through cmd/mhpcload against a
-# coalescing mhpcd and validates the resulting mhpc-load-report/v1.
+# coalescing mhpcd and validates the resulting mhpc-load-report/v1,
+# and the resume smoke run that SIGKILLs a checkpointing mhpc sweep
+# mid-flight and requires the rerun to restore the committed progress
+# with byte-identical output across -j and -intra.
 GO ?= go
 TMP ?= /tmp/mhpc-smoke
 
-.PHONY: check vet build test race bench bench-smoke bench-snapshot bench-diff telemetry-smoke faults-smoke pdes-smoke serve-smoke stream-smoke store-smoke load-smoke
+.PHONY: check vet build test race bench bench-smoke bench-snapshot bench-diff telemetry-smoke faults-smoke pdes-smoke serve-smoke stream-smoke store-smoke load-smoke resume-smoke
 
-check: vet build test race telemetry-smoke faults-smoke pdes-smoke bench-smoke bench-diff serve-smoke stream-smoke store-smoke load-smoke
+check: vet build test race telemetry-smoke faults-smoke pdes-smoke bench-smoke bench-diff serve-smoke stream-smoke store-smoke load-smoke resume-smoke
 
 vet:
 	$(GO) vet ./...
@@ -44,7 +47,7 @@ bench-smoke:
 		./internal/sim ./internal/interconnect
 
 # Perf trajectory snapshot: run the headline benches and record them in
-# BENCH_v8.json (schema mhpc-bench-snapshot/v1; format documented in
+# BENCH_v9.json (schema mhpc-bench-snapshot/v1; format documented in
 # DESIGN.md, Engine performance). The engine/interconnect micro-benches
 # and the obs scrape path get real benchtime; the multi-second macro
 # benches — including the task-latency quantile bench, the serving
@@ -61,17 +64,16 @@ bench-snapshot:
 		>> $(TMP)-bench/out.txt
 	$(GO) test -run '^$$' -bench 'ServeZipfCold' -benchtime 3x -benchmem ./cmd/mhpcd \
 		>> $(TMP)-bench/out.txt
-	$(GO) run ./cmd/benchsnap -o BENCH_v8.json < $(TMP)-bench/out.txt
-	$(GO) run ./cmd/jsoncheck BENCH_v8.json
+	$(GO) run ./cmd/benchsnap -o BENCH_v9.json < $(TMP)-bench/out.txt
+	$(GO) run ./cmd/jsoncheck BENCH_v9.json
 
-# Perf regression gate over the committed snapshots: the v8 trajectory
-# must hold the line against v7 — no throughput metric (events/s,
+# Perf regression gate over the committed snapshots: the v9 trajectory
+# must hold the line against v8 — no throughput metric (events/s,
 # chunks/s, req/s) down more than 10%, no steady-state bench newly
-# allocating; benches new in v8 (the PDES scaling sweep) are listed
-# informationally. Pure file comparison, so it is deterministic on any
+# allocating. Pure file comparison, so it is deterministic on any
 # machine.
 bench-diff:
-	$(GO) run ./cmd/benchdiff BENCH_v7.json BENCH_v8.json
+	$(GO) run ./cmd/benchdiff BENCH_v8.json BENCH_v9.json
 
 # End-to-end observability gate: run the full quick registry with every
 # telemetry exporter on, validate both JSON artefacts, and re-check
@@ -145,3 +147,12 @@ load-smoke:
 	MHPC_LOAD_SMOKE=1 MHPC_LOAD_REPORT_OUT=$(TMP)-load/report.json \
 		$(GO) test -race -run TestLoadSmoke -count=1 ./cmd/mhpcload
 	$(GO) run ./cmd/jsoncheck $(TMP)-load/report.json
+
+# Resumable-run gate: run a full-size fig6+green500 sweep with
+# -ckpt-dir, SIGKILL it once the ledger holds committed sub-runs, and
+# rerun the identical invocation at -j 1/4 x -intra 1/2 — stdout must
+# match the uninterrupted run byte for byte, the manifest must show
+# ckpt.hits > 0 and pool.tasks strictly below the golden total: the
+# committed-progress-is-never-recomputed proof against the real binary.
+resume-smoke:
+	MHPC_RESUME_SMOKE=1 $(GO) test -race -run TestResumeSmoke -count=1 ./cmd/mhpc

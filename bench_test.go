@@ -172,7 +172,7 @@ func (c *dispatchCounter) EventDispatched()   { c.n.Add(1) }
 // legacy sequential engine; P2/4/8 exercise the window loop, promise
 // exchange, and cross-partition delivery pump. On a multi-core host
 // the events/s ratio over P1 is the intra-run speedup; on a single
-//-core host it measures pure PDES overhead (see DESIGN.md, Intra-run
+// -core host it measures pure PDES overhead (see DESIGN.md, Intra-run
 // parallelism). Output equivalence is pinned separately by the golden
 // wall; GFLOPS is reported to show the modelled physics is identical.
 func BenchmarkPDESScaling(b *testing.B) {

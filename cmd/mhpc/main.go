@@ -21,6 +21,14 @@
 // non-numeric — are rejected with an error rather than silently
 // falling back to a default.
 //
+// run and all take -ckpt-dir DIR to make the invocation resumable:
+// every finished sub-run and experiment is committed to a checkpoint
+// ledger in DIR, and re-running the identical invocation after an
+// interrupt (SIGINT or even SIGKILL) restores the committed tasks and
+// executes only the unfinished ones — final output byte-identical to
+// an uninterrupted run, at any -j/-intra. The ledger is deleted once
+// a run completes.
+//
 // run and all also take the telemetry flags: -trace-out FILE writes a
 // chrome://tracing JSON trace of the run, -report FILE writes a JSON
 // run manifest, -v streams live per-experiment progress to stderr,
@@ -32,6 +40,8 @@ package main
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"flag"
 	"fmt"
@@ -55,6 +65,7 @@ import (
 	"mobilehpc/internal/perf"
 	"mobilehpc/internal/reliability"
 	"mobilehpc/internal/sim"
+	"mobilehpc/internal/store"
 )
 
 // defaultJobsSpec is the textual -j default: the MHPC_PARALLEL
@@ -88,6 +99,52 @@ func defaultIntraSpec() string {
 // strict parser: a positive integer, or "auto" for one partition per
 // CPU. Same rejection rules as -j.
 func parseIntra(s string) (int, error) { return core.ParseIntra(s) }
+
+// ckptKey is the ledger identity of one CLI invocation: a truncated
+// SHA-256 over the command, the experiment ids, and the
+// output-shaping options. -j and -intra are deliberately absent —
+// output is byte-identical at every parallelism, so a resume is free
+// to change them.
+func ckptKey(command string, ids []string, quick, csv bool) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%t\x00%t", command, quick, csv)
+	for _, id := range ids {
+		fmt.Fprintf(h, "\x00%s", id)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:8])
+}
+
+// openCkpt opens (or recovers) the -ckpt-dir ledger for this
+// invocation and binds it to the command goroutine; the harness pool
+// inherits the binding onto its workers, committing each finished
+// sub-run and experiment as it goes. The returned settle func retires
+// the ledger: on success the file is discarded (the full output was
+// produced), on any failure — including a signal abort — it is kept
+// so the next identical invocation resumes from the committed
+// progress. A SIGKILL never reaches settle at all, which is fine:
+// every committed line is already fsynced. Reporting goes to stderr;
+// stdout stays byte-identical to a checkpoint-off run.
+func openCkpt(dir, command string, ids []string, quick, csv bool) (settle func(err error), _ error) {
+	led, err := store.OpenLedger(dir, ckptKey(command, ids, quick, csv))
+	if err != nil {
+		return nil, err
+	}
+	if led.Prior() > 0 {
+		fmt.Fprintf(os.Stderr, "mhpc: ckpt: resuming from %d committed entries\n", led.Prior())
+	}
+	unbind := harness.BindLedger(led)
+	return func(err error) {
+		unbind()
+		if err != nil {
+			led.Close()
+			fmt.Fprintf(os.Stderr, "mhpc: ckpt: kept %d committed entries for resume\n", led.Len())
+			return
+		}
+		fmt.Fprintf(os.Stderr, "mhpc: ckpt: restored %d tasks from checkpoint, executed and committed %d\n",
+			led.Hits(), led.Commits())
+		led.Discard()
+	}, nil
+}
 
 // commandContext returns a context cancelled by SIGINT/SIGTERM, so a
 // long registry run aborts cleanly (engines unwind, goroutines
@@ -150,6 +207,11 @@ byte-identical at every -j.
 partitions running in parallel inside one simulation (a positive
 integer, or 'auto' for one per CPU; default from MHPC_INTRA or 1);
 output is byte-identical at every -intra.
+
+-ckpt-dir DIR commits every finished sub-run/experiment to a
+checkpoint ledger in DIR; re-running the identical invocation after an
+interrupt resumes from the committed progress (only unfinished work
+re-executes, output byte-identical). The ledger is deleted on success.
 
 run and all also accept the telemetry flags:
   -trace-out FILE   write a chrome://tracing JSON trace of the run
@@ -315,6 +377,7 @@ func run(args []string) error {
 	csv := fs.Bool("csv", false, "emit CSV instead of a text table")
 	jobs := fs.String("j", defaultJobsSpec(), "worker pool size (a positive integer, or 'auto' = one per CPU)")
 	intra := fs.String("intra", defaultIntraSpec(), "PDES partitions per simulation (a positive integer, or 'auto' = one per CPU)")
+	ckptDir := fs.String("ckpt-dir", "", "checkpoint directory: commit finished sub-runs and resume an interrupted identical invocation")
 	tf := addTelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -330,12 +393,21 @@ func run(args []string) error {
 	if err != nil {
 		return fmt.Errorf("run: %w", err)
 	}
+	var settle func(error)
+	if *ckptDir != "" {
+		if settle, err = openCkpt(*ckptDir, "run", fs.Args(), *quick, *csv); err != nil {
+			return fmt.Errorf("run: %w", err)
+		}
+	}
 	ctx, cancel := commandContext()
 	defer cancel()
 	tel := startTelemetry(tf, "run", j, *quick)
 	tabs, err := harness.TablesContext(ctx, fs.Args(), harness.Options{Quick: *quick, Jobs: j, Intra: it})
 	if ferr := tel.finish(); err == nil {
 		err = ferr
+	}
+	if settle != nil {
+		settle(err)
 	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
@@ -360,6 +432,7 @@ func all(args []string) error {
 	quick := fs.Bool("quick", false, "reduced node counts / steps")
 	jobs := fs.String("j", defaultJobsSpec(), "worker pool size (a positive integer, or 'auto' = one per CPU)")
 	intra := fs.String("intra", defaultIntraSpec(), "PDES partitions per simulation (a positive integer, or 'auto' = one per CPU)")
+	ckptDir := fs.String("ckpt-dir", "", "checkpoint directory: commit finished sub-runs and resume an interrupted identical invocation")
 	tf := addTelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -372,12 +445,21 @@ func all(args []string) error {
 	if err != nil {
 		return fmt.Errorf("all: %w", err)
 	}
+	var settle func(error)
+	if *ckptDir != "" {
+		if settle, err = openCkpt(*ckptDir, "all", nil, *quick, false); err != nil {
+			return fmt.Errorf("all: %w", err)
+		}
+	}
 	ctx, cancel := commandContext()
 	defer cancel()
 	tel := startTelemetry(tf, "all", j, *quick)
 	err = core.RunAllExperimentsOpts(ctx, os.Stdout, harness.Options{Quick: *quick, Jobs: j, Intra: it})
 	if ferr := tel.finish(); err == nil {
 		err = ferr
+	}
+	if settle != nil {
+		settle(err)
 	}
 	if err != nil && errors.Is(err, context.Canceled) {
 		return fmt.Errorf("all: aborted by signal: %w", err)

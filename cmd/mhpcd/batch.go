@@ -22,6 +22,12 @@ package main
 // sweep keeps running for the rest; only when the *last* waiter bails
 // is the sweep itself cancelled. A server drain still aborts sweeps
 // through baseCtx like any other run.
+//
+// Batched sweeps bypass the resumable-run checkpointing of
+// admitAndRun by design: a sweep's identity is the union of whatever
+// keys happened to coalesce in one window, not a stable run key, so
+// there is no ledger to resume from. An aborted sweep simply re-runs;
+// the unbatched path (-batch-window 0) is the one that checkpoints.
 
 import (
 	"bytes"

@@ -64,12 +64,13 @@ type job struct {
 	cancel  context.CancelFunc
 	done    chan struct{}
 
-	mu        sync.Mutex
-	state     jobState
-	err       error
-	cached    bool
-	coalesced bool
-	finished  time.Time
+	mu          sync.Mutex
+	state       jobState
+	err         error
+	cached      bool
+	coalesced   bool
+	resumedFrom float64 // fraction of tasks restored from checkpoint (0 = cold run)
+	finished    time.Time
 }
 
 // jobStatus is the JSON view of a job served by GET /job/{id} and
@@ -84,6 +85,7 @@ type jobStatus struct {
 	ResultKey      string  `json:"result_key,omitempty"`
 	Cached         bool    `json:"cached,omitempty"`
 	Coalesced      bool    `json:"coalesced,omitempty"`
+	ResumedFrom    float64 `json:"resumed_from,omitempty"`
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 	StatusURL      string  `json:"status_url"`
 	EventsURL      string  `json:"events_url"`
@@ -109,15 +111,16 @@ func (j *job) status() *jobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := &jobStatus{
-		Schema:     "mhpc-job/v1",
-		Job:        j.id,
-		Experiment: j.params.ID,
-		Seed:       j.params.Seed,
-		State:      string(j.state),
-		Cached:     j.cached,
-		Coalesced:  j.coalesced,
-		StatusURL:  "/job/" + j.id,
-		EventsURL:  "/job/" + j.id + "/events",
+		Schema:      "mhpc-job/v1",
+		Job:         j.id,
+		Experiment:  j.params.ID,
+		Seed:        j.params.Seed,
+		State:       string(j.state),
+		Cached:      j.cached,
+		Coalesced:   j.coalesced,
+		ResumedFrom: j.resumedFrom,
+		StatusURL:   "/job/" + j.id,
+		EventsURL:   "/job/" + j.id + "/events",
 	}
 	if j.err != nil {
 		st.Error = j.err.Error()
@@ -161,6 +164,15 @@ func (j *job) complete(err error, cached, coalesced bool) {
 	j.mu.Unlock()
 }
 
+// setResumedFrom records the fraction of the run's tasks that were
+// restored from a checkpoint ledger rather than re-executed; it flows
+// into the status JSON (resumed_from) and the SSE state/done events.
+func (j *job) setResumedFrom(f float64) {
+	j.mu.Lock()
+	j.resumedFrom = f
+	j.mu.Unlock()
+}
+
 // terminal reports whether the job has finished.
 func (j *job) terminal() bool {
 	select {
@@ -185,9 +197,15 @@ func (s *server) newJob(p runParams, key string) *job {
 		done:    make(chan struct{}),
 		state:   jobPending,
 	}
+	// Job ids embed a key prefix for log readability; degrade to the
+	// full key if a future key scheme ever shortens it below 8 chars.
+	short := key
+	if len(short) > 8 {
+		short = short[:8]
+	}
 	s.mu.Lock()
 	s.jobSeq++
-	j.id = fmt.Sprintf("j%d-%s", s.jobSeq, key[:8])
+	j.id = fmt.Sprintf("j%d-%s", s.jobSeq, short)
 	for len(s.jobOrder) >= s.cfg.jobHistory {
 		evicted := false
 		for i, id := range s.jobOrder {
@@ -245,6 +263,11 @@ func (s *server) executeJob(j *job) {
 	}
 	data, err := s.execute(j.ctx, j.params)
 	s.finish(j.key, j.params, c, data, err)
+	if err == nil {
+		if f, ok := s.takeResumeFrac(j.key); ok {
+			j.setResumedFrom(f)
+		}
+	}
 	j.complete(err, false, false)
 }
 
@@ -263,12 +286,19 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 // cancellation (context -> AbortFlag -> engine teardown) and returns
 // immediately with the current status — it does not wait for the
 // unwind, so the response is prompt (the smoke wall bounds it at
-// 100ms) while the goroutines settle behind it.
+// 100ms) while the goroutines settle behind it. A DELETE that lands
+// on an already-terminal job is a no-op: it reports the terminal
+// status without raising anything and without bumping
+// serve.jobs_cancelled — only cancels of live jobs count.
 func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	s.counter("serve.requests").Add(1)
 	j := s.jobByID(r.PathValue("job"))
 	if j == nil {
 		http.Error(w, "unknown job id (pruned or never created)", http.StatusNotFound)
+		return
+	}
+	if j.terminal() {
+		writeJSON(w, http.StatusOK, j.status())
 		return
 	}
 	j.cancel()

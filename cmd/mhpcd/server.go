@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -115,11 +116,19 @@ type server struct {
 	baseCtx   context.Context
 	abortRuns context.CancelFunc
 
-	mu       sync.Mutex
-	flight   map[string]*call
-	jobs     map[string]*job
-	jobOrder []string // job ids, oldest first (FIFO eviction of finished jobs)
-	jobSeq   int64
+	// ckptDir is where per-run checkpoint ledgers live: the partials/
+	// namespace under the store dir (invisible to the store's orphan
+	// sweep), or "" for memory-only ledgers when the store is
+	// memory-only too.
+	ckptDir string
+
+	mu         sync.Mutex
+	flight     map[string]*call
+	jobs       map[string]*job
+	jobOrder   []string // job ids, oldest first (FIFO eviction of finished jobs)
+	jobSeq     int64
+	ledgers    map[string]*store.Ledger // open checkpoint ledgers by run key
+	resumeFrac map[string]float64       // run key -> fraction restored, set when a resumed run completes
 }
 
 // newServer wires a server from cfg, opening (and with a storeDir,
@@ -130,12 +139,17 @@ func newServer(cfg serverConfig) (*server, error) {
 		cfg.jobHistory = 256
 	}
 	s := &server{
-		cfg:     cfg,
-		col:     obs.New(),
-		sem:     make(chan struct{}, cfg.concurrency),
-		waiting: make(chan struct{}, cfg.concurrency+cfg.queue),
-		flight:  map[string]*call{},
-		jobs:    map[string]*job{},
+		cfg:        cfg,
+		col:        obs.New(),
+		sem:        make(chan struct{}, cfg.concurrency),
+		waiting:    make(chan struct{}, cfg.concurrency+cfg.queue),
+		flight:     map[string]*call{},
+		jobs:       map[string]*job{},
+		ledgers:    map[string]*store.Ledger{},
+		resumeFrac: map[string]float64{},
+	}
+	if cfg.storeDir != "" {
+		s.ckptDir = filepath.Join(cfg.storeDir, "partials")
 	}
 	st, err := store.Open(cfg.storeDir, cfg.cacheBytes, s.col)
 	if err != nil {
@@ -449,15 +463,86 @@ func (s *server) admitted(ctx context.Context, fn func(ctx context.Context) erro
 	return err
 }
 
-// admitAndRun executes one unbatched run under admission control.
+// admitAndRun executes one unbatched run under admission control,
+// with resumable checkpointing: a per-key ledger is bound to the
+// executing goroutine so the harness pool commits each completed
+// sub-run and experiment table as it goes. A cancelled, failed, or
+// drain-aborted attempt keeps its ledger; re-POSTing the same key
+// resumes from the committed progress (serve.resumes), re-executing
+// only unfinished tasks. The ledger is discarded on success — the
+// finished result lives in the main store. Batched sweeps (batch.go)
+// bypass checkpointing: their fan-out identity is the sweep, not one
+// run key.
 func (s *server) admitAndRun(ctx context.Context, p runParams) ([]byte, error) {
 	var data []byte
 	err := s.admitted(ctx, func(runCtx context.Context) error {
+		key := p.key()
+		led, resumed := s.ledgerFor(key)
+		var h0, c0 int64
+		if led != nil {
+			h0, c0 = led.Hits(), led.Commits()
+			if resumed {
+				s.counter("serve.resumes").Add(1)
+			}
+			defer harness.BindLedger(led)()
+		}
 		var e error
 		data, e = s.cfg.runFn(runCtx, p)
+		if led != nil {
+			s.retireLedger(key, led, h0, c0, resumed, e)
+		}
 		return e
 	})
 	return data, err
+}
+
+// ledgerFor returns the open checkpoint ledger for key (opening or
+// recovering it on first use) and whether this attempt resumes from
+// committed progress. A ledger that cannot open degrades to nil —
+// checkpointing is an optimisation, the run proceeds from scratch.
+func (s *server) ledgerFor(key string) (*store.Ledger, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if led, ok := s.ledgers[key]; ok {
+		return led, led.Len() > 0
+	}
+	led, err := store.OpenLedger(s.ckptDir, key)
+	if err != nil {
+		return nil, false
+	}
+	s.ledgers[key] = led
+	return led, led.Len() > 0
+}
+
+// retireLedger settles a run attempt's ledger: on success the ledger
+// (and its file) is discarded and, for a resumed attempt, the
+// restored fraction hits/(hits+commits) of this attempt is recorded
+// for the job plane's resumed_from field. On failure the ledger stays
+// open so the next attempt on this key resumes.
+func (s *server) retireLedger(key string, led *store.Ledger, h0, c0 int64, resumed bool, runErr error) {
+	if runErr != nil {
+		return
+	}
+	s.mu.Lock()
+	if resumed {
+		if dh, dc := led.Hits()-h0, led.Commits()-c0; dh+dc > 0 {
+			s.resumeFrac[key] = float64(dh) / float64(dh+dc)
+		}
+	}
+	delete(s.ledgers, key)
+	s.mu.Unlock()
+	led.Discard()
+}
+
+// takeResumeFrac pops the recorded resume fraction for key, if any.
+func (s *server) takeResumeFrac(key string) (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.resumeFrac[key]
+	if ok {
+		delete(s.resumeFrac, key)
+	}
+	return f, ok
 }
 
 // finish publishes the leader's outcome to followers, writes a

@@ -60,6 +60,11 @@ type RunResult struct {
 	Checkpoints int
 	// Restarts counts completed restarts.
 	Restarts int
+	// Reboots counts node restorations performed at restart
+	// completions. Each affected node is restored exactly once per
+	// restart, even when it is both downed and degraded (or degraded
+	// repeatedly) before the restart completes.
+	Reboots int
 	// Failures counts fatal injected events (NodeFail + NodeHang) that
 	// killed in-flight work.
 	Failures int
@@ -163,11 +168,23 @@ func (r *replay) ckptDone() {
 
 func (r *replay) restartDone() {
 	r.res.Restarts++
-	for _, id := range r.downed {
+	// Dedup the reboot set: a node that failed and then degraded before
+	// the restart completed (or degraded twice) appears in both lists /
+	// repeatedly, but it reboots once.
+	seen := make(map[int]bool, len(r.downed)+len(r.degraded))
+	reboot := func(id int) {
+		if seen[id] {
+			return
+		}
+		seen[id] = true
 		r.cl.RestoreNode(id)
+		r.res.Reboots++
+	}
+	for _, id := range r.downed {
+		reboot(id)
 	}
 	for _, id := range r.degraded {
-		r.cl.RestoreNode(id)
+		reboot(id)
 	}
 	r.downed, r.degraded = r.downed[:0], r.degraded[:0]
 	r.linkFactor = 1

@@ -1,0 +1,127 @@
+package faults
+
+// Edge-path coverage for the replay state machine's fault handler:
+// the LinkDegrade interactions with the checkpoint and restart phases
+// (LostHours and linkFactor accounting), and the restartDone reboot
+// dedup — a node present in both the downed and degraded lists, or
+// degraded twice, must be restored exactly once per restart. Every
+// makespan below is hand-computed from the RunConfig timeline.
+
+import (
+	"math"
+	"testing"
+
+	"mobilehpc/internal/cluster"
+)
+
+// TestReplayDegradeDuringRestart: a NIC degradation that lands while
+// a restart is in flight joins that restart's reboot set — the
+// completed restart wipes linkFactor, so the resumed segment runs at
+// full speed. The degrading node here is the failed node itself: the
+// regression case where restartDone used to call RestoreNode twice.
+func TestReplayDegradeDuringRestart(t *testing.T) {
+	cfg := RunConfig{WorkHours: 1, IntervalHours: 1, CheckpointHours: 0.5,
+		RestartHours: 0.25, CommFraction: 0.5}
+	sch := Schedule{
+		{Hours: 0.5, Node: 0, Kind: NodeFail},               // kills the segment at 0.5h
+		{Hours: 0.6, Node: 0, Kind: LinkDegrade, Factor: 3}, // mid-restart, same node
+	}
+	cl := cluster.Tibidabo(2)
+	r := Replay(cl, sch, cfg)
+	// 0.5h lost work + 0.25h restart (reboot resets linkFactor to 1)
+	// + 1h clean segment = 1.75h. Were linkFactor to survive the
+	// reboot, the segment would run at slowdown 2 and makespan 2.75.
+	if math.Abs(r.MakespanHours-1.75) > 1e-9 {
+		t.Errorf("makespan = %v, want 1.75 (linkFactor must reset at reboot)", r.MakespanHours)
+	}
+	if math.Abs(r.LostHours-0.5) > 1e-9 {
+		t.Errorf("lost = %v, want 0.5", r.LostHours)
+	}
+	if r.Failures != 1 || r.Degrades != 1 || r.Restarts != 1 {
+		t.Errorf("result = %+v, want 1 failure, 1 degrade, 1 restart", r)
+	}
+	if r.Reboots != 1 {
+		t.Errorf("reboots = %d, want 1 (node 0 is downed AND degraded, restored once)", r.Reboots)
+	}
+	if f := cl.Net.NodeLinks(0)[0].DegradeFactor(); f != 1 {
+		t.Errorf("node 0 link factor after reboot = %v, want 1", f)
+	}
+}
+
+// TestReplayRebootDedupAcrossNodes: repeated degradations of one node
+// plus a failure of another produce exactly one reboot per distinct
+// node at the restart.
+func TestReplayRebootDedupAcrossNodes(t *testing.T) {
+	cfg := RunConfig{WorkHours: 1, IntervalHours: 1, CheckpointHours: 0.5,
+		RestartHours: 0.25}
+	sch := Schedule{
+		{Hours: 0.2, Node: 1, Kind: LinkDegrade, Factor: 2},
+		{Hours: 0.3, Node: 1, Kind: LinkDegrade, Factor: 2}, // same node again
+		{Hours: 0.5, Node: 0, Kind: NodeFail},
+	}
+	r := Replay(cluster.Tibidabo(2), sch, cfg)
+	// CommFraction 0: the degradations stretch nothing, so the
+	// timeline is 0.5h lost + 0.25h restart + 1h work = 1.75h.
+	if math.Abs(r.MakespanHours-1.75) > 1e-9 {
+		t.Errorf("makespan = %v, want 1.75", r.MakespanHours)
+	}
+	if r.Reboots != 2 {
+		t.Errorf("reboots = %d, want 2 (node 0 downed + node 1 degraded twice)", r.Reboots)
+	}
+	if r.Degrades != 2 || r.Failures != 1 || r.Restarts != 1 {
+		t.Errorf("result = %+v, want 2 degrades, 1 failure, 1 restart", r)
+	}
+}
+
+// TestReplayDegradeDuringCheckpoint: checkpoint I/O is a fixed cost,
+// so a degradation mid-checkpoint does not stretch the checkpoint —
+// it hits starting with the next work segment, and with no restart
+// ever running, the NIC stays degraded to the end.
+func TestReplayDegradeDuringCheckpoint(t *testing.T) {
+	cfg := RunConfig{WorkHours: 2, IntervalHours: 1, CheckpointHours: 0.5,
+		RestartHours: 0.25, CommFraction: 0.5}
+	// Segment 1 spans [0, 1], its checkpoint [1, 1.5]. Degrade at 1.25.
+	sch := Schedule{{Hours: 1.25, Node: 0, Kind: LinkDegrade, Factor: 3}}
+	cl := cluster.Tibidabo(2)
+	r := Replay(cl, sch, cfg)
+	// 1h segment + 0.5h checkpoint (unstretched) + 2h for segment 2 at
+	// slowdown 1 + 0.5*(3-1) = 2. Makespan 3.5h, nothing lost.
+	if math.Abs(r.MakespanHours-3.5) > 1e-9 {
+		t.Errorf("makespan = %v, want 3.5", r.MakespanHours)
+	}
+	if r.LostHours != 0 || r.Checkpoints != 1 || r.Restarts != 0 || r.Reboots != 0 {
+		t.Errorf("result = %+v, want 0 lost, 1 checkpoint, 0 restarts, 0 reboots", r)
+	}
+	if f := cl.Net.NodeLinks(0)[0].DegradeFactor(); f != 3 {
+		t.Errorf("node 0 link factor = %v, want 3 (no reboot ever ran)", f)
+	}
+}
+
+// TestReplayFailDuringCheckpointWhileDegraded: LostHours is wall
+// time, so losing a degraded (stretched) segment plus its partial
+// checkpoint charges the stretched duration — and the restart's
+// reboot covers both the failed and the degraded node.
+func TestReplayFailDuringCheckpointWhileDegraded(t *testing.T) {
+	cfg := RunConfig{WorkHours: 2, IntervalHours: 1, CheckpointHours: 0.5,
+		RestartHours: 0.25, CommFraction: 0.5}
+	sch := Schedule{
+		{Hours: 0.5, Node: 1, Kind: LinkDegrade, Factor: 3}, // mid-segment: re-aim at slowdown 2
+		{Hours: 1.75, Node: 0, Kind: NodeFail},              // mid-checkpoint
+	}
+	r := Replay(cluster.Tibidabo(2), sch, cfg)
+	// Segment 1: 0.5h at slowdown 1, then the remaining 0.5h useful at
+	// slowdown 2 — work done at 1.5h; checkpoint [1.5, 2.0] killed at
+	// 1.75h, losing the whole stretched segment + partial checkpoint
+	// (1.75h wall). Restart [1.75, 2.0] reboots both nodes and resets
+	// the NIC, so the rerun is clean: 1h + 0.5h ckpt + 1h = makespan
+	// 4.5h.
+	if math.Abs(r.MakespanHours-4.5) > 1e-9 {
+		t.Errorf("makespan = %v, want 4.5", r.MakespanHours)
+	}
+	if math.Abs(r.LostHours-1.75) > 1e-9 {
+		t.Errorf("lost = %v, want 1.75 (stretched segment + partial checkpoint, wall time)", r.LostHours)
+	}
+	if r.Checkpoints != 1 || r.Restarts != 1 || r.Reboots != 2 {
+		t.Errorf("result = %+v, want 1 checkpoint, 1 restart, 2 reboots", r)
+	}
+}

@@ -114,6 +114,7 @@ func parmapObs[T any](cat string, name func(i int) string, jobs, n int, task fun
 // error is nil.
 func parmapErr[T any](cat string, name func(i int) string, jobs, n int, task func(i int) T) ([]T, error) {
 	flag := sim.BoundAbort()
+	led := BoundLedger()
 	run := func(worker, i int) T { return task(i) }
 	if ob := obs.Active(); ob != nil && name != nil {
 		parent := ob.CurrentSpan()
@@ -136,6 +137,31 @@ func parmapErr[T any](cat string, name func(i int) string, jobs, n int, task fun
 				latency.Observe(time.Since(t0).Nanoseconds())
 			}()
 			return inner(worker, i)
+		}
+	}
+	if led != nil && name != nil {
+		// Skip-completed fan-out (see ckpt.go): a ledger hit returns the
+		// committed result without executing the task — outside the
+		// telemetry wrapper, so pool.tasks counts only executed tasks and
+		// no span opens for a skip; the pre-added queued gauge is
+		// balanced by hand. A task that does run commits its result
+		// before the merge. Ledger errors are swallowed: checkpointing is
+		// an optimisation, never a correctness requirement.
+		exec := run
+		run = func(worker, i int) T {
+			label := cat + "/" + name(i)
+			if raw, ok := led.Lookup(label); ok {
+				if v, ok := ckptDecode[T](raw); ok {
+					obs.Active().Gauge("pool.queued").Add(-1)
+					obs.Active().Counter("ckpt.hits").Add(1)
+					return v
+				}
+			}
+			v := exec(worker, i)
+			if raw, ok := ckptEncode(any(v)); ok && led.Commit(label, raw) == nil {
+				obs.Active().Counter("ckpt.commits").Add(1)
+			}
+			return v
 		}
 	}
 	out := make([]T, n)
@@ -193,6 +219,11 @@ func parmapErr[T any](cat string, name func(i int) string, jobs, n int, task fun
 				// Inherit the run's abort flag so engines (and nested
 				// pools) created by this worker's tasks are cancellable.
 				defer sim.BindAbort(flag)()
+			}
+			if led != nil {
+				// Inherit the checkpoint ledger the same way, so nested
+				// sub-run pools can skip and commit their own tasks.
+				defer BindLedger(led)()
 			}
 			for i := range idx {
 				exec(worker, i)

@@ -23,6 +23,14 @@
 // of the process-wide active collector (Active), so the telemetry-off
 // overhead is one pointer load per instrumented region — not per
 // event.
+//
+// Counters flow into both /metrics (mhpcd) and the -report run
+// manifest. Families by prefix: sim.* (engine event accounting),
+// pool.* and harness.* (worker-pool and table plumbing), faults.*
+// (injected fault replay), serve.* and store.* (the serving tier),
+// and ckpt.* — the resumable-run plane's split of restored versus
+// executed work (ckpt.hits counts tasks served from a checkpoint
+// ledger, ckpt.commits tasks executed and committed to one).
 package obs
 
 import (
